@@ -1,0 +1,60 @@
+"""Figure 1: default system parameters.
+
+Prints the parameter table and checks the full-size configuration against
+the values published in the paper.  (A configuration table, not a timing
+experiment -- the benchmark wrapper just times its construction.)
+"""
+
+from conftest import run_once
+
+from repro.params import paper_system
+
+
+def test_figure1_parameter_table(benchmark):
+    params = run_once(benchmark, paper_system)
+
+    print("\n== Figure 1: default system parameters ==")
+    rows = [
+        ("Issue width", params.processor.issue_width, 4),
+        ("Instruction window size", params.processor.window_size, 64),
+        ("Integer ALUs", params.processor.int_alus, 2),
+        ("FP units", params.processor.fp_alus, 2),
+        ("Address generation units", params.processor.addr_gen_units, 2),
+        ("Simultaneous speculated branches",
+         params.processor.max_spec_branches, 8),
+        ("Memory queue size", params.processor.mem_queue_size, 32),
+        ("BTB entries", params.bpred.btb_entries, 512),
+        ("RAS entries", params.bpred.ras_entries, 32),
+        ("Cache line size", params.l1d.line_size, 64),
+        ("L1 D-cache size (KB)", params.l1d.size_bytes // 1024, 128),
+        ("L1 I-cache size (KB)", params.l1i.size_bytes // 1024, 128),
+        ("L1 associativity", params.l1d.assoc, 2),
+        ("L1 request ports", params.l1d.request_ports, 2),
+        ("L1 hit time", params.l1d.hit_time, 1),
+        ("L2 size (MB)", params.l2.size_bytes // (1024 * 1024), 8),
+        ("L2 associativity", params.l2.assoc, 4),
+        ("L2 hit time", params.l2.hit_time, 20),
+        ("MSHRs per cache", params.l1d.mshrs, 8),
+        ("Data TLB entries", params.dtlb.entries, 128),
+        ("Instruction TLB entries", params.itlb.entries, 128),
+        ("Local read latency", params.latencies.local_read, 100),
+    ]
+    for name, value, expected in rows:
+        print(f"  {name:<36s} {value:>8}   (paper: {expected})")
+        assert value == expected
+
+    remote_min = (params.latencies.remote_read_base
+                  + params.latencies.remote_read_per_hop)
+    remote_max = (params.latencies.remote_read_base
+                  + 2 * params.latencies.remote_read_per_hop)
+    print(f"  {'Remote read latency range':<36s} "
+          f"{remote_min}-{remote_max}   (paper: 160-180)")
+    assert 155 <= remote_min and remote_max <= 185
+
+    c2c_min = (params.latencies.cache_to_cache_base
+               + params.latencies.cache_to_cache_per_hop)
+    c2c_max = (params.latencies.cache_to_cache_base
+               + 3 * params.latencies.cache_to_cache_per_hop)
+    print(f"  {'Cache-to-cache latency range':<36s} "
+          f"{c2c_min}-{c2c_max}   (paper: 280-310)")
+    assert 275 <= c2c_min and c2c_max <= 315

@@ -1,0 +1,46 @@
+"""Section 4.2 sharing-pattern characterization of OLTP.
+
+Paper values: 88% of shared write accesses and 79% of dirty read misses
+target migratory data; 70% of migratory write misses hit 3% of the
+migratory lines; 75% of migratory references come from <10% of the static
+instructions that ever issue one; dirty misses are ~50% of L2 misses.
+"""
+
+from conftest import BENCH_SIZES, run_once
+
+from repro import default_system, oltp_workload, run_simulation
+
+
+def test_sharing_characterization(benchmark):
+    instr, warm = BENCH_SIZES["oltp"]
+    result = run_once(benchmark, lambda: run_simulation(
+        default_system(), oltp_workload(),
+        instructions=instr, warmup=warm))
+    report = result.sharing()
+
+    print("\n== Section 4.2: OLTP sharing characterization ==")
+    print(f"  dirty reads migratory:      "
+          f"{report.migratory_dirty_read_fraction:.2f} (paper: 0.79)")
+    print(f"  shared writes migratory:    "
+          f"{report.migratory_shared_write_fraction:.2f} (paper: 0.88)")
+    print(f"  line fraction for 70% of migratory write misses: "
+          f"{report.top_line_fraction(0.70):.2f} (paper: 0.03)")
+    print(f"  PC fraction for 75% of migratory refs: "
+          f"{report.top_pc_fraction(0.75):.2f} (paper: < 0.10)")
+    print(f"  migratory lines observed:   {report.migratory_lines}")
+    print(f"  hot migratory PCs:          {len(report.hot_pcs)}")
+
+    c = result.coherence
+    total_l2_read_misses = c.reads_local + c.reads_remote + c.reads_dirty
+    dirty_share = c.reads_dirty / max(1, total_l2_read_misses)
+    print(f"  dirty share of L2 read misses: {dirty_share:.2f} "
+          f"(paper: ~0.50)")
+
+    # Most dirty reads and shared writes are migratory.
+    assert report.migratory_dirty_read_fraction > 0.5
+    assert report.migratory_shared_write_fraction > 0.6
+    # Migratory references concentrate on few lines and few PCs.
+    assert report.top_line_fraction(0.70) < 0.6
+    assert report.top_pc_fraction(0.75) < 0.5
+    # Dirty misses are a large share of L2 misses.
+    assert dirty_share > 0.25

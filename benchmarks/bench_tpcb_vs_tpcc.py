@@ -1,0 +1,54 @@
+"""Section 2.1.1 validation: TPC-B vs TPC-C behaviour.
+
+The paper justifies using TPC-B over TPC-C: "our performance monitoring
+experiments with TPC-B and TPC-C show similar processor and memory
+system behavior, with TPC-B exhibiting somewhat worse memory system
+behavior than TPC-C.  As a result, we expect changes in processor and
+memory system features to affect both benchmarks in similar ways."
+
+This benchmark runs both OLTP variants on the base system and checks
+the claim: similar IPC and miss rates, with TPC-B at least as
+communication-heavy per instruction.
+"""
+
+from conftest import run_once
+
+from repro import default_system, run_simulation
+from repro.core.workloads import oltp_workload, tpcc_workload
+
+
+def test_tpcb_vs_tpcc(benchmark, oltp_sizes):
+    instr, warm = oltp_sizes
+
+    def run():
+        return {
+            "tpcb": run_simulation(default_system(), oltp_workload(),
+                                   instructions=instr, warmup=warm),
+            "tpcc": run_simulation(default_system(), tpcc_workload(),
+                                   instructions=instr, warmup=warm),
+        }
+
+    results = run_once(benchmark, run)
+    print("\n== Section 2.1.1: TPC-B vs TPC-C ==")
+    rows = {}
+    for name, r in results.items():
+        dirty_rate = r.coherence.reads_dirty / r.instructions
+        rows[name] = dirty_rate
+        print(f"  {name}: IPC {r.ipc:.2f}  "
+              f"L1I {r.miss_rates['l1i']:.3f}  "
+              f"L1D {r.miss_rates['l1d']:.3f}  "
+              f"L2 {r.miss_rates['l2']:.3f}  "
+              f"dirty/instr {dirty_rate:.5f}")
+
+    b, c = results["tpcb"], results["tpcc"]
+    # Similar processor behaviour...
+    assert abs(b.ipc - c.ipc) / b.ipc < 0.35
+    # ...and similar memory behaviour...
+    assert abs(b.miss_rates["l1d"] - c.miss_rates["l1d"]) < 0.08
+    assert abs(b.miss_rates["l1i"] - c.miss_rates["l1i"]) < 0.04
+    # ...with TPC-B at least as communication-heavy (paper: "somewhat
+    # worse memory system behavior").
+    assert rows["tpcb"] >= rows["tpcc"] * 0.8
+
+    # Both are dominated by migratory sharing.
+    assert c.coherence.dirty_read_fraction_migratory > 0.5

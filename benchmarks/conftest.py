@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the rows the paper reports.  Run sizes can be adjusted with environment
+variables for quicker smoke runs:
+
+    REPRO_BENCH_OLTP_INSTR / REPRO_BENCH_OLTP_WARMUP
+    REPRO_BENCH_DSS_INSTR  / REPRO_BENCH_DSS_WARMUP
+"""
+
+import os
+
+import pytest
+
+
+def _env(name, default):
+    return int(os.environ.get(name, default))
+
+
+#: (instructions, warmup) used by the benchmarks, per workload.  Smaller
+#: than the library defaults so the full suite finishes in minutes.
+BENCH_SIZES = {
+    "oltp": (_env("REPRO_BENCH_OLTP_INSTR", 60_000),
+             _env("REPRO_BENCH_OLTP_WARMUP", 220_000)),
+    "dss": (_env("REPRO_BENCH_DSS_INSTR", 40_000),
+            _env("REPRO_BENCH_DSS_WARMUP", 200_000)),
+}
+
+
+@pytest.fixture
+def oltp_sizes():
+    return BENCH_SIZES["oltp"]
+
+
+@pytest.fixture
+def dss_sizes():
+    return BENCH_SIZES["dss"]
+
+
+def run_once(benchmark, fn):
+    """Run a figure generator exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Memory consistency study: do strict models cost performance?
+
+Replays the paper's Figure 6 question for either workload: sequential
+consistency loses badly with a straightforward implementation, but
+hardware prefetching from the instruction window plus speculative load
+execution (as in the MIPS R10000 / Pentium Pro) brings it within a few
+percent of release consistency -- so the hardware consistency model is
+not a dominant design factor for database workloads.
+
+Run:  python examples/consistency_models.py [oltp|dss] [--quick]
+"""
+
+import argparse
+
+from repro import (
+    ConsistencyImpl,
+    ConsistencyModel,
+    default_system,
+    dss_workload,
+    oltp_workload,
+    run_simulation,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workload", nargs="?", default="oltp",
+                        choices=["oltp", "dss"])
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+
+    if args.workload == "oltp":
+        make_workload = oltp_workload
+        instructions, warmup = (15_000, 25_000) if args.quick \
+            else (80_000, 220_000)
+    else:
+        make_workload = dss_workload
+        instructions, warmup = (15_000, 25_000) if args.quick \
+            else (50_000, 130_000)
+
+    print(f"Workload: {args.workload.upper()}")
+    print(f"{'model':<6s} {'implementation':<18s} "
+          f"{'cycles':>10s} {'vs SC-plain':>12s} {'read':>7s} {'write':>7s}")
+
+    baseline = None
+    results = {}
+    for impl in (ConsistencyImpl.STRAIGHTFORWARD, ConsistencyImpl.PREFETCH,
+                 ConsistencyImpl.SPECULATIVE):
+        for model in (ConsistencyModel.SC, ConsistencyModel.PC,
+                      ConsistencyModel.RC):
+            params = default_system(consistency=model,
+                                    consistency_impl=impl)
+            result = run_simulation(params, make_workload(),
+                                    instructions=instructions,
+                                    warmup=warmup)
+            if baseline is None:
+                baseline = result.cycles
+            results[(model, impl)] = result
+            row = result.breakdown.summary_row()
+            print(f"{model.name:<6s} {impl.name.lower():<18s} "
+                  f"{result.cycles:>10,} "
+                  f"{result.cycles / baseline:>11.2f}x "
+                  f"{row['read']:>6.1%} {row['write']:>6.1%}")
+
+    sc_opt = results[(ConsistencyModel.SC, ConsistencyImpl.SPECULATIVE)]
+    rc_opt = results[(ConsistencyModel.RC, ConsistencyImpl.SPECULATIVE)]
+    gap = sc_opt.cycles / rc_opt.cycles - 1
+    print(f"\nOptimized SC is within {gap:.1%} of optimized RC "
+          f"(paper: 10-15%).")
+
+
+if __name__ == "__main__":
+    main()

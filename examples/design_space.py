@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Processor design-space exploration for database servers.
+
+Uses the public API the way a server architect would: sweep issue width,
+window size, and outstanding-miss support for OLTP and DSS, and report
+where the returns diminish.  The paper's answer -- a 4-way, 32-64 entry
+window with 4 outstanding misses captures nearly all the benefit -- falls
+out of the sweep.
+
+Run:  python examples/design_space.py [--quick]
+"""
+
+import argparse
+import dataclasses
+
+from repro import default_system, dss_workload, oltp_workload, \
+    run_simulation
+
+
+def sweep(name, make_workload, configs, instructions, warmup):
+    print(f"\n{name}:")
+    baseline = None
+    for label, params in configs:
+        result = run_simulation(params, make_workload(),
+                                instructions=instructions, warmup=warmup)
+        if baseline is None:
+            baseline = result.cycles
+        print(f"  {label:<26s} {result.cycles:>10,} cycles "
+              f"({baseline / result.cycles:4.2f}x, IPC {result.ipc:.2f})")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+
+    base = default_system()
+
+    def proc(**changes):
+        return base.replace(processor=dataclasses.replace(
+            base.processor, **changes))
+
+    def mshrs(n):
+        return base.replace(
+            l1d=dataclasses.replace(base.l1d, mshrs=n),
+            l2=dataclasses.replace(base.l2, mshrs=n))
+
+    issue_configs = [
+        ("in-order 1-wide", proc(out_of_order=False, issue_width=1)),
+        ("in-order 4-wide", proc(out_of_order=False, issue_width=4)),
+        ("out-of-order 2-wide", proc(issue_width=2)),
+        ("out-of-order 4-wide", base),
+        ("out-of-order 8-wide", proc(issue_width=8)),
+    ]
+    window_configs = [
+        ("window 16", proc(window_size=16)),
+        ("window 32", proc(window_size=32)),
+        ("window 64 (base)", base),
+        ("window 128", proc(window_size=128)),
+    ]
+    mshr_configs = [
+        ("1 outstanding miss", mshrs(1)),
+        ("2 outstanding misses", mshrs(2)),
+        ("4 outstanding misses", mshrs(4)),
+        ("8 outstanding misses", mshrs(8)),
+    ]
+
+    for wl_name, make_workload, sizes in (
+            ("oltp", oltp_workload, (60_000, 180_000)),
+            ("dss", dss_workload, (40_000, 120_000))):
+        instructions, warmup = (10_000, 15_000) if args.quick else sizes
+        print(f"\n===== {wl_name.upper()} =====")
+        sweep("Issue width / execution order", make_workload,
+              issue_configs, instructions, warmup)
+        sweep("Instruction window", make_workload, window_configs,
+              instructions, warmup)
+        sweep("Outstanding misses", make_workload, mshr_configs,
+              instructions, warmup)
+
+
+if __name__ == "__main__":
+    main()

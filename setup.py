@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` with legacy setuptools.
+"""
+
+from setuptools import setup
+
+setup()

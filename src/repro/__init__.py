@@ -1,0 +1,46 @@
+"""repro: reproduction of "Performance of Database Workloads on
+Shared-Memory Systems with Out-of-Order Processors" (ASPLOS 1998).
+
+A from-scratch, cycle-level CC-NUMA multiprocessor simulator plus
+synthetic OLTP (TPC-B-like) and DSS (TPC-D-Q6-like) workload generators
+that reproduce the paper's characterization and all of its experiments.
+
+Quickstart::
+
+    from repro import default_system, oltp_workload, run_simulation
+
+    result = run_simulation(default_system(), oltp_workload())
+    print(result.ipc, result.breakdown.summary_row())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.params import (
+    ConsistencyImpl,
+    ConsistencyModel,
+    SystemParams,
+    default_system,
+    paper_system,
+)
+from repro.core.workloads import (
+    Workload,
+    dss_workload,
+    oltp_workload,
+    tpcc_workload,
+)
+from repro.core.experiment import SimulationResult, run_simulation
+from repro.core.optimizations import migratory_hints, profile_migratory_pcs
+from repro.system.machine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConsistencyModel", "ConsistencyImpl", "SystemParams",
+    "default_system", "paper_system",
+    "Workload", "oltp_workload", "dss_workload", "tpcc_workload",
+    "SimulationResult", "run_simulation",
+    "profile_migratory_pcs", "migratory_hints",
+    "Machine",
+    "__version__",
+]

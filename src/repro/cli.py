@@ -1,0 +1,122 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro characterize [--quick]      # in-text tables
+    python -m repro figure 2a|2b|2c|3a|3b|3c|4|5|6|7a|7b [oltp|dss] [--quick]
+    python -m repro report [--quick]            # everything, in order
+
+``--quick`` runs small simulations (~seconds each) for smoke testing;
+the defaults match the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core import figures as F
+from repro.stats.render import render_figure
+
+_QUICK_SIZES = {"oltp": (12_000, 20_000), "dss": (10_000, 16_000)}
+
+
+def _sizes(workload: str, quick: bool):
+    if quick:
+        return _QUICK_SIZES[workload]
+    return F.RUN_SIZES[workload]
+
+
+def _print_figure(fig) -> None:
+    print(fig.format_table())
+    rows = [(row.label, row.normalized,
+             row.result.breakdown.summary_row()) for row in fig.rows]
+    print(render_figure(rows))
+    print()
+
+
+def cmd_characterize(quick: bool) -> None:
+    instr, warm = _sizes("oltp", quick)
+    table = F.characterization_table(instructions=instr, warmup=warm)
+    print("== In-text characterization ==")
+    for name, row in table.items():
+        print(f"  {name.upper()}:")
+        for key, value in row.items():
+            print(f"    {key:<36s} {value:.3f}")
+
+
+def cmd_figure(which: str, workload: Optional[str], quick: bool) -> None:
+    wl = workload or "oltp"
+    instr, warm = _sizes(wl if which not in ("4", "7a", "7b") else "oltp",
+                         quick)
+    if which in ("2a", "3a"):
+        wl = "oltp" if which.startswith("2") else "dss"
+        instr, warm = _sizes(wl, quick)
+        _print_figure(F.figure_ilp_issue_width(wl, instr, warm))
+    elif which in ("2b", "3b"):
+        wl = "oltp" if which.startswith("2") else "dss"
+        instr, warm = _sizes(wl, quick)
+        _print_figure(F.figure_ilp_window(wl, instr, warm))
+    elif which in ("2c", "3c"):
+        wl = "oltp" if which.startswith("2") else "dss"
+        instr, warm = _sizes(wl, quick)
+        fig = F.figure_ilp_mshrs(wl, instr, warm)
+        _print_figure(fig)
+        for key, dist in fig.extras.items():
+            row = " ".join(f">={n}:{v:.2f}" for n, v in dist.items())
+            print(f"  {key}: {row}")
+    elif which == "4":
+        _print_figure(F.figure4(instr, warm))
+    elif which == "5":
+        instr, warm = _sizes(wl, quick)
+        _print_figure(F.figure5(wl, instr, warm))
+    elif which == "6":
+        instr, warm = _sizes(wl, quick)
+        _print_figure(F.figure6(wl, instr, warm))
+    elif which == "7a":
+        _print_figure(F.figure7a(instr, warm))
+    elif which == "7b":
+        _print_figure(F.figure7b(instr, warm))
+    else:
+        raise SystemExit(f"unknown figure {which!r}")
+
+
+def cmd_report(quick: bool) -> None:
+    cmd_characterize(quick)
+    print()
+    for which, workload in (("2a", None), ("2b", None), ("2c", None),
+                            ("3a", None), ("3b", None), ("3c", None),
+                            ("4", None), ("5", "oltp"), ("5", "dss"),
+                            ("6", "oltp"), ("6", "dss"),
+                            ("7a", None), ("7b", None)):
+        cmd_figure(which, workload, quick)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("characterize")
+    fig = sub.add_parser("figure")
+    fig.add_argument("which")
+    fig.add_argument("workload", nargs="?", choices=["oltp", "dss"])
+    sub.add_parser("report")
+    sub.add_parser("validate")
+    args = parser.parse_args(argv)
+
+    if args.command == "characterize":
+        cmd_characterize(args.quick)
+    elif args.command == "figure":
+        cmd_figure(args.which, args.workload, args.quick)
+    elif args.command == "report":
+        cmd_report(args.quick)
+    elif args.command == "validate":
+        from repro.core.validation import run_all
+        results = run_all(verbose=True)
+        return 0 if all(r.passed for r in results) else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

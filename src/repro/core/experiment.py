@@ -1,0 +1,137 @@
+"""Simulation runner: build a machine, warm it up, measure, and report.
+
+:func:`run_simulation` is the single entry point used by tests, examples
+and benchmarks.  It reproduces the paper's methodology: the machine runs a
+warmup period whose statistics are discarded (section 2.2: "warmup
+transients were ignored"), then a measurement period; execution time is
+the number of machine cycles needed to retire the requested number of
+instructions across all processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.workloads import Workload
+from repro.mem.coherence import CoherenceStats
+from repro.params import SystemParams
+from repro.stats.breakdown import ExecutionBreakdown
+from repro.stats.mshr import MshrOccupancyGroup
+from repro.stats.sharing import SharingReport, sharing_characterization
+from repro.system.machine import Machine
+
+#: Default measurement length (dynamic instructions across all CPUs).
+DEFAULT_INSTRUCTIONS = 80_000
+DEFAULT_WARMUP = 40_000
+
+
+@dataclass
+class SimulationResult:
+    """Everything the paper's figures need from one run."""
+
+    params: SystemParams
+    workload: str
+    cycles: int
+    instructions: int
+    breakdown: ExecutionBreakdown
+    miss_rates: Dict[str, float]
+    misprediction_rate: float
+    coherence: CoherenceStats
+    l1d_mshr: MshrOccupancyGroup
+    l2_mshr: MshrOccupancyGroup
+    stream_buffer_hit_rate: float = 0.0
+    idle_fraction: float = 0.0
+
+    @property
+    def execution_time(self) -> int:
+        """Cycles to complete the measured work (lower is better)."""
+        return self.cycles
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per cycle per processor."""
+        n = self.params.n_nodes
+        return self.instructions / (self.cycles * n) if self.cycles else 0.0
+
+    def sharing(self) -> SharingReport:
+        return sharing_characterization(self.coherence)
+
+    def normalized_to(self, base: "SimulationResult") -> float:
+        return self.execution_time / base.execution_time
+
+    def dump(self) -> str:
+        """Full text report of the run (stats-file style)."""
+        from repro.stats.traffic import traffic_report
+        lines = [
+            f"workload           {self.workload}",
+            f"nodes              {self.params.n_nodes}",
+            f"instructions       {self.instructions}",
+            f"cycles             {self.cycles}",
+            f"ipc per processor  {self.ipc:.3f}",
+            f"idle fraction      {self.idle_fraction:.3f}",
+            f"branch mispredict  {self.misprediction_rate:.3f}",
+            "",
+            "miss rates:",
+        ]
+        for level, rate in self.miss_rates.items():
+            lines.append(f"  {level:<6s} {rate:.4f}")
+        lines.append("")
+        lines.append("execution-time breakdown (non-idle shares):")
+        for name, share in self.breakdown.shares().items():
+            if share > 0.0005:
+                lines.append(f"  {name:<16s} {share:.3f}")
+        lines.append("")
+        lines.append(traffic_report(self.coherence,
+                                    self.instructions).format())
+        sharing = self.sharing()
+        lines.append("")
+        lines.append("sharing:")
+        lines.append(f"  migratory dirty reads    "
+                     f"{sharing.migratory_dirty_read_fraction:.3f}")
+        lines.append(f"  migratory shared writes  "
+                     f"{sharing.migratory_shared_write_fraction:.3f}")
+        lines.append(f"  migratory lines          "
+                     f"{sharing.migratory_lines}")
+        if self.stream_buffer_hit_rate:
+            lines.append(f"  stream buffer hit rate   "
+                         f"{self.stream_buffer_hit_rate:.3f}")
+        return "\n".join(lines)
+
+
+def run_simulation(params: SystemParams, workload: Workload,
+                   instructions: int = DEFAULT_INSTRUCTIONS,
+                   warmup: int = DEFAULT_WARMUP,
+                   seed: int = 0) -> SimulationResult:
+    """Simulate ``workload`` on ``params`` and collect statistics.
+
+    ``instructions`` counts retired instructions summed over all CPUs; the
+    same total work is simulated for every configuration so execution
+    times are directly comparable (as in the paper's normalized charts).
+    """
+    generators = workload.generators(params.n_nodes, seed=seed)
+    machine = Machine(params, generators)
+    if warmup:
+        machine.run(warmup)
+        machine.reset_stats()
+    cycles = machine.run(instructions)
+
+    breakdown = machine.breakdown()
+    idle = breakdown.cycles[-1]  # IDLE is the last category
+    total_with_idle = sum(breakdown.cycles)
+    sb_hits = sum(n.stream_buffer.hits for n in machine.nodes)
+    sb_total = sb_hits + sum(n.stream_buffer.misses for n in machine.nodes)
+    return SimulationResult(
+        params=params,
+        workload=workload.name,
+        cycles=cycles,
+        instructions=instructions,
+        breakdown=breakdown,
+        miss_rates=machine.miss_rates(),
+        misprediction_rate=machine.misprediction_rate(),
+        coherence=machine.memory.stats,
+        l1d_mshr=machine.l1d_mshr_stats,
+        l2_mshr=machine.l2_mshr_stats,
+        stream_buffer_hit_rate=sb_hits / sb_total if sb_total else 0.0,
+        idle_fraction=idle / total_with_idle if total_with_idle else 0.0,
+    )

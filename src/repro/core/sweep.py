@@ -1,0 +1,95 @@
+"""Seed sweeps: statistical robustness for scaled simulations.
+
+The paper simulates ~200M instructions, so one run per configuration is
+statistically stable.  Our scaled runs are far shorter; when two
+configurations land within a few percent, a single seed cannot separate
+them.  :func:`seed_sweep` runs a configuration across seeds and reports
+mean and spread; :func:`compare` decides whether one configuration
+reliably beats another across seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.experiment import run_simulation
+from repro.core.workloads import Workload
+from repro.params import SystemParams
+
+
+@dataclass
+class SweepResult:
+    """Execution times of one configuration across seeds."""
+
+    label: str
+    cycles: List[int]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.cycles) / len(self.cycles)
+
+    @property
+    def spread(self) -> float:
+        """Half the min-max range, relative to the mean."""
+        if self.mean == 0:
+            return 0.0
+        return (max(self.cycles) - min(self.cycles)) / (2 * self.mean)
+
+    def __str__(self) -> str:
+        return (f"{self.label}: mean {self.mean:,.0f} cycles "
+                f"(+/- {self.spread:.1%} over {len(self.cycles)} seeds)")
+
+
+def seed_sweep(params: SystemParams,
+               make_workload: Callable[[], Workload],
+               instructions: int, warmup: int,
+               seeds: Sequence[int] = (0, 1, 2),
+               label: str = "config") -> SweepResult:
+    """Run one configuration across ``seeds``."""
+    cycles = []
+    for seed in seeds:
+        result = run_simulation(params, make_workload(),
+                                instructions=instructions,
+                                warmup=warmup, seed=seed)
+        cycles.append(result.cycles)
+    return SweepResult(label, cycles)
+
+
+@dataclass
+class Comparison:
+    """Outcome of a seeded A-vs-B comparison."""
+
+    a: SweepResult
+    b: SweepResult
+
+    @property
+    def mean_ratio(self) -> float:
+        """b relative to a (< 1: b faster)."""
+        return self.b.mean / self.a.mean
+
+    @property
+    def consistent(self) -> bool:
+        """The faster side wins on every seed."""
+        pairs = zip(self.a.cycles, self.b.cycles)
+        signs = {(bc < ac) for ac, bc in pairs}
+        return len(signs) == 1
+
+    def __str__(self) -> str:
+        verdict = "consistent" if self.consistent else "seed-dependent"
+        return (f"{self.b.label} vs {self.a.label}: "
+                f"{self.mean_ratio:.3f}x ({verdict})")
+
+
+def compare(params_a: SystemParams, params_b: SystemParams,
+            make_workload: Callable[[], Workload],
+            instructions: int, warmup: int,
+            seeds: Sequence[int] = (0, 1, 2),
+            labels: Optional[Sequence[str]] = None) -> Comparison:
+    """Seed-paired comparison of two configurations."""
+    label_a, label_b = labels or ("A", "B")
+    return Comparison(
+        seed_sweep(params_a, make_workload, instructions, warmup,
+                   seeds, label_a),
+        seed_sweep(params_b, make_workload, instructions, warmup,
+                   seeds, label_b))

@@ -1,0 +1,728 @@
+"""Unified in-order / out-of-order processor core (paper section 2.4).
+
+The core models fetch, dispatch into an instruction window, issue to
+functional units (2 integer ALUs, 2 FP units, 2 address-generation units
+by default), non-blocking memory access through the node memory system,
+and in-order retirement at the issue width.  A mode flag selects between:
+
+* **out-of-order**: any ready instruction in the window may issue;
+* **in-order**: instructions issue strictly in program order and issue
+  stalls at the first instruction whose operands are not ready -- the
+  paper's in-order baseline.
+
+Trace-driven restrictions match the paper: on a branch misprediction no
+instructions are fetched until the branch resolves (wrong-path execution
+is not modelled), and the OS scheduler switches processes at blocking
+system calls.
+
+Stall accounting implements the paper's retire-based convention (see
+:mod:`repro.stats.breakdown`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, Iterator, List, Optional
+
+from repro.cpu.bpred import BranchPredictor
+from repro.cpu.consistency import ConsistencyUnit
+from repro.cpu.storebuffer import StoreBuffer
+from repro.mem.memsys import (
+    CAT_DIRTY,
+    CAT_DTLB,
+    CAT_L1_HIT,
+    CAT_L2_HIT,
+    CAT_LOCAL,
+    CAT_REMOTE,
+    NodeMemorySystem,
+)
+from repro.params import ConsistencyModel, SystemParams
+from repro.stats.breakdown import (
+    BUSY,
+    CPU_STALL,
+    IDLE,
+    INSTR,
+    READ_DIRTY,
+    READ_DTLB,
+    READ_L1,
+    READ_L2,
+    READ_LOCAL,
+    READ_REMOTE,
+    SYNC,
+    WRITE,
+    ExecutionBreakdown,
+)
+from repro.trace.instr import (
+    OP_BRANCH,
+    OP_FLUSH,
+    OP_FP,
+    OP_INT,
+    OP_LOAD,
+    OP_LOCK_ACQ,
+    OP_LOCK_REL,
+    OP_MB,
+    OP_PREFETCH,
+    OP_STORE,
+    OP_SYSCALL,
+    OP_WMB,
+)
+
+# Window entry states.
+ST_WAIT = 0      # operands pending
+ST_READY = 1     # may issue
+ST_EXEC = 2      # in a functional unit (address generation for memory ops)
+ST_MEMQ = 3      # memory op awaiting permission/resources to perform
+ST_MEMACC = 4    # memory access outstanding
+ST_DONE = 5
+
+_CAT_TO_READ = {
+    CAT_L1_HIT: READ_L1, CAT_L2_HIT: READ_L2, CAT_LOCAL: READ_LOCAL,
+    CAT_REMOTE: READ_REMOTE, CAT_DIRTY: READ_DIRTY, CAT_DTLB: READ_DTLB,
+}
+
+_MEMQ_OPS = (OP_LOAD, OP_STORE, OP_LOCK_ACQ, OP_LOCK_REL)
+
+FAR_FUTURE = 1 << 60
+MISPREDICT_RESTART = 3   # pipeline restart after a resolved misprediction
+ROLLBACK_RESTART = 8     # recovery from a consistency violation
+LOCK_SPIN_INTERVAL = 120  # retry period for a contended lock
+
+
+class WindowEntry:
+    __slots__ = ("seq", "instr", "state", "done_at", "pending", "dependents",
+                 "category", "tlb_miss", "retry_at", "prefetched",
+                 "mispredicted", "uid")
+
+    _next_uid = 0  # tie-breaker: heap tuples may compare entries whose
+                   # seqs collide across context switches
+
+    def __init__(self, seq: int, instr):
+        self.seq = seq
+        self.instr = instr
+        self.uid = WindowEntry._next_uid
+        WindowEntry._next_uid += 1
+        self.state = ST_WAIT
+        self.done_at = 0
+        self.pending = 0
+        self.dependents: List[int] = []
+        self.category = CAT_L1_HIT
+        self.tlb_miss = False
+        self.retry_at = 0
+        self.prefetched = False
+        self.mispredicted = False
+
+
+class TraceBuffer:
+    """Window onto a process's instruction stream supporting re-fetch.
+
+    Instructions are kept from the oldest unretired one onward so the core
+    can rewind after consistency-violation rollbacks and context switches.
+    """
+
+    def __init__(self, source: Iterator):
+        self._source = source
+        self._base = 0
+        self._buf: deque = deque()
+
+    def get(self, seq: int):
+        while seq - self._base >= len(self._buf):
+            self._buf.append(next(self._source))
+        return self._buf[seq - self._base]
+
+    def release_through(self, seq: int) -> None:
+        """Instructions up to and including ``seq`` are retired."""
+        while self._base <= seq and self._buf:
+            self._buf.popleft()
+            self._base += 1
+
+
+class ProcessorCore:
+    """One processor: pipeline + window + retirement + stall accounting."""
+
+    def __init__(self, cpu_id: int, params: SystemParams,
+                 memsys: NodeMemorySystem, lock_table: Dict[int, int]):
+        self.cpu_id = cpu_id
+        self.params = params
+        self.proc = params.processor
+        self.memsys = memsys
+        self.lock_table = lock_table
+        self.bpred = BranchPredictor(params.bpred)
+        self.consistency = ConsistencyUnit(params.consistency,
+                                           params.consistency_impl)
+        overlap = self.consistency.store_buffer_overlap
+        self.storebuf = StoreBuffer(
+            capacity=64, memsys=memsys, overlap=overlap,
+            wants_prefetch=(self.consistency.wants_prefetch and
+                            params.consistency is ConsistencyModel.PC))
+        memsys.violation_hook = self._on_line_removed
+
+        self.stats = ExecutionBreakdown()
+        self.retired = 0
+        # Optional SMT shared pipeline (set by repro.cpu.smt.SmtCore):
+        # when present, fetch/issue/retire bandwidth and functional units
+        # are drawn from per-cycle pools shared with sibling contexts.
+        self.shared = None
+
+        # Pipeline state.
+        self.process = None          # assigned by the machine/scheduler
+        self._trace: Optional[TraceBuffer] = None
+        self._entries: Dict[int, WindowEntry] = {}
+        self._window: deque = deque()
+        self._ready: List = []       # heap of (seq, entry)
+        self._completions: List = []  # heap of (done_at, seq, entry)
+        self._memq: List[int] = []
+        self._next_seq = 0
+        self._inorder_ptr = 0
+        self._fetch_blocked_until = 0
+        self._fetch_block_instr = False   # True: I-miss, False: branch
+        self._cur_fetch_line = -1
+        self._unresolved_branches = 0
+        self._last_now = -1
+        self._gap_category = IDLE
+        self.syscall_retired = False
+        self._rollback_to: Optional[int] = None
+        self._issue_wake = 0  # 0: idle, 1: poll next cycle, 2: event-driven
+        # Memory-queue slots are reserved at dispatch (like a real
+        # load/store queue) and released at retirement/squash, so the
+        # oldest memory op always owns a slot -- admission in program
+        # order is what makes the 32-entry queue deadlock-free under SC.
+        self._mem_inflight = 0
+
+        # SC stores perform from the window, not the store buffer.
+        self._sc_mode = params.consistency is ConsistencyModel.SC
+
+    # ------------------------------------------------------------------ process
+
+    def assign_process(self, process, now: int, switch_cost: int = 0
+                       ) -> None:
+        """Start (or resume) running ``process`` on this core."""
+        self.process = process
+        self._trace = process.trace
+        self._next_seq = process.resume_seq
+        self._inorder_ptr = process.resume_seq
+        self._unresolved_branches = 0
+        self._rollback_to = None
+        self._fetch_blocked_until = now + switch_cost
+        self._fetch_block_instr = False
+        self._cur_fetch_line = -1
+        self._mem_inflight = 0
+        self.consistency.reset()
+        self.storebuf.reset()
+
+    def preempt(self, now: int):
+        """Remove the current process (window flushed, position saved)."""
+        process = self.process
+        if process is None:
+            return None
+        head_seq = self._window[0].seq if self._window else self._next_seq
+        self._squash_from(head_seq, now, penalty=0)
+        process.resume_seq = head_seq
+        self.process = None
+        self._trace = None
+        return process
+
+    @property
+    def head_seq(self) -> int:
+        return self._window[0].seq if self._window else self._next_seq
+
+    def free_slots(self) -> int:
+        """Process slots available (SMT cores override with > 1)."""
+        return 0 if self.process is not None else 1
+
+    def blocked_processes(self, now: int):
+        """Preempt and return processes that retired a blocking call."""
+        if not self.syscall_retired:
+            return []
+        self.syscall_retired = False
+        process = self.preempt(now)
+        return [process] if process is not None else []
+
+    def physical_cores(self):
+        """The underlying single-context cores (SMT returns several)."""
+        return [self]
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    # ------------------------------------------------------------------ tick
+
+    def tick(self, now: int) -> int:
+        """Simulate one cycle at time ``now``.
+
+        The machine may skip cycles: the gap since the previous tick is
+        charged to the category that was blocking at the end of that tick.
+        Returns the next cycle at which this core can possibly make
+        progress (``now + 1`` if it is actively working).
+        """
+        gap = now - self._last_now - 1
+        if gap > 0:
+            self.stats.stall(self._gap_category, gap)
+        self._last_now = now
+
+        if self.process is None:
+            self.stats.stall(IDLE, 1)
+            self._gap_category = IDLE
+            return FAR_FUTURE
+
+        self._process_completions(now)
+        self._process_memq(now)
+        sb_event = self.storebuf.drain(now)
+        self._issue(now)
+        self._fetch(now)
+        self._retire(now)
+        return self._next_event(now, sb_event)
+
+    # ------------------------------------------------------------------ fetch
+
+    def _fetch(self, now: int) -> None:
+        if now < self._fetch_blocked_until:
+            return
+        trace = self._trace
+        window = self._window
+        limit = self.proc.window_size
+        shared = self.shared
+        slots = self.proc.issue_width if shared is None \
+            else shared.fetch_slots
+        while slots > 0 and len(window) < limit:
+            instr = trace.get(self._next_seq)
+            line = instr.pc >> self.memsys.line_shift
+            if line != self._cur_fetch_line:
+                ready_at, _cat = self.memsys.access_instr(now, instr.pc)
+                self._cur_fetch_line = line
+                if ready_at > now:
+                    self._fetch_blocked_until = ready_at
+                    self._fetch_block_instr = True
+                    return
+            if instr.op == OP_BRANCH and (
+                    self._unresolved_branches >=
+                    self.proc.max_spec_branches):
+                return
+            if instr.op in _MEMQ_OPS and \
+                    self._mem_inflight >= self.proc.mem_queue_size:
+                return  # no load/store-queue slot; wake on retirement
+            entry = self._dispatch(instr, now)
+            self.memsys.l1i_accesses += 1  # per-reference I-miss rates
+            self._next_seq += 1
+            slots -= 1
+            if shared is not None:
+                shared.fetch_slots -= 1
+            if instr.op == OP_BRANCH:
+                self._unresolved_branches += 1
+                if instr.bp_outcome is None:
+                    instr.bp_outcome = self.bpred.observe(
+                        instr.pc, instr.branch_kind, instr.taken,
+                        instr.target)
+                mispredicted = instr.bp_outcome
+                if instr.taken:
+                    self._cur_fetch_line = -1  # redirect re-checks the line
+                if mispredicted:
+                    entry.mispredicted = True
+                    self._fetch_blocked_until = FAR_FUTURE
+                    self._fetch_block_instr = False
+                    return
+
+    def _dispatch(self, instr, now: int) -> WindowEntry:
+        seq = self._next_seq
+        entry = WindowEntry(seq, instr)
+        entries = self._entries
+        for distance in instr.deps:
+            producer = entries.get(seq - distance)
+            if producer is not None and producer.state != ST_DONE:
+                entry.pending += 1
+                producer.dependents.append(seq)
+        entries[seq] = entry
+        self._window.append(entry)
+
+        op = instr.op
+        if op in _MEMQ_OPS:
+            self._mem_inflight += 1
+        if op in (OP_MB, OP_WMB, OP_SYSCALL):
+            entry.state = ST_DONE  # ordering enforced at retirement
+        elif entry.pending == 0:
+            entry.state = ST_READY
+            heapq.heappush(self._ready, (seq, entry.uid, entry))
+        if op in (OP_LOAD, OP_LOCK_ACQ):
+            self.consistency.note_dispatch(seq, is_load=True)
+        elif op in (OP_STORE, OP_LOCK_REL) and self._sc_mode:
+            self.consistency.note_dispatch(seq, is_load=False)
+        return entry
+
+    # ------------------------------------------------------------------ issue
+
+    def _issue(self, now: int) -> None:
+        if self.proc.out_of_order:
+            self._issue_ooo(now)
+        else:
+            self._issue_inorder(now)
+
+    def _fu_budget(self) -> List[int]:
+        """[int+branch, fp, agu] slots for this cycle.
+
+        Under SMT this is the *shared* pool object itself, so units a
+        context consumes are gone for its siblings this cycle.
+        """
+        if self.shared is not None:
+            return self.shared.fu
+        if self.proc.infinite_functional_units:
+            big = 1 << 30
+            return [big, big, big]
+        return [self.proc.int_alus, self.proc.fp_alus,
+                self.proc.addr_gen_units]
+
+    def _fu_class(self, op: int) -> int:
+        if op == OP_FP:
+            return 1
+        if op in (OP_LOAD, OP_STORE, OP_LOCK_ACQ, OP_LOCK_REL,
+                  OP_PREFETCH, OP_FLUSH):
+            return 2
+        return 0
+
+    def _issue_ooo(self, now: int) -> None:
+        slots = self.proc.issue_width if self.shared is None \
+            else self.shared.issue_slots
+        fu = self._fu_budget()
+        skipped = []
+        ready = self._ready
+        issued = 0
+        fu_starved = False
+        while ready and slots > 0:
+            seq, _uid, entry = heapq.heappop(ready)
+            if self._entries.get(seq) is not entry or \
+                    entry.state != ST_READY:
+                continue  # stale (squashed or already handled)
+            cls = self._fu_class(entry.instr.op)
+            if fu[cls] <= 0:
+                fu_starved = True
+                skipped.append((seq, entry.uid, entry))
+                continue
+            fu[cls] -= 1
+            slots -= 1
+            issued += 1
+            if self.shared is not None:
+                self.shared.issue_slots -= 1
+            self._start_execution(entry, now)
+        for item in skipped:
+            heapq.heappush(ready, item)
+        # Wake classification for skip-ahead: FU budgets replenish every
+        # cycle, so FU starvation (or remaining issue-bandwidth demand)
+        # needs a next-cycle tick; otherwise wakes are event-driven.
+        if issued or fu_starved or (ready and slots == 0):
+            self._issue_wake = 1   # poll next cycle
+        else:
+            self._issue_wake = 0   # nothing ready
+
+    def _issue_inorder(self, now: int) -> None:
+        """Issue strictly in program order; stall at the first instruction
+        whose operands are not ready (the paper's in-order model)."""
+        slots = self.proc.issue_width if self.shared is None \
+            else self.shared.issue_slots
+        fu = self._fu_budget()
+        entries = self._entries
+        seq = self._inorder_ptr
+        issued = 0
+        self._issue_wake = 0
+        while slots > 0:
+            entry = entries.get(seq)
+            if entry is None:
+                if seq >= self._next_seq:
+                    break  # nothing fetched yet
+                seq += 1   # retired/squashed gap
+                self._inorder_ptr = seq
+                continue
+            if entry.state in (ST_EXEC, ST_MEMQ, ST_MEMACC, ST_DONE):
+                seq += 1
+                self._inorder_ptr = seq
+                continue
+            if entry.state != ST_READY:
+                break  # data dependence: in-order issue stalls here
+            cls = self._fu_class(entry.instr.op)
+            if fu[cls] <= 0:
+                self._issue_wake = 1   # fresh units next cycle
+                break
+            fu[cls] -= 1
+            slots -= 1
+            issued += 1
+            if self.shared is not None:
+                self.shared.issue_slots -= 1
+            self._start_execution(entry, now)
+            seq += 1
+            self._inorder_ptr = seq
+        if issued:
+            self._issue_wake = 1
+
+    def _start_execution(self, entry: WindowEntry, now: int) -> None:
+        entry.state = ST_EXEC
+        entry.done_at = now + entry.instr.latency
+        heapq.heappush(self._completions,
+                       (entry.done_at, entry.uid, entry))
+
+    # ------------------------------------------------------------------ completion
+
+    def _process_completions(self, now: int) -> None:
+        completions = self._completions
+        entries = self._entries
+        while completions and completions[0][0] <= now:
+            _t, _uid, entry = heapq.heappop(completions)
+            seq = entry.seq
+            if entries.get(seq) is not entry:
+                continue  # squashed
+            if entry.state == ST_EXEC:
+                self._finish_execution(entry, now)
+            elif entry.state == ST_MEMACC:
+                entry.state = ST_DONE
+                self.consistency.note_complete(seq)
+                self._wake_dependents(entry)
+
+    def _finish_execution(self, entry: WindowEntry, now: int) -> None:
+        op = entry.instr.op
+        if op == OP_BRANCH:
+            self._unresolved_branches -= 1
+            if entry.mispredicted:
+                entry.mispredicted = False
+                self._fetch_blocked_until = now + MISPREDICT_RESTART
+                self._fetch_block_instr = False
+            entry.state = ST_DONE
+            self._wake_dependents(entry)
+        elif op == OP_PREFETCH:
+            self.memsys.prefetch_data(now, entry.instr.addr, exclusive=True,
+                                      pc=entry.instr.pc)
+            entry.state = ST_DONE
+        elif op == OP_FLUSH:
+            entry.state = ST_DONE  # effect applied at retirement
+        elif op in (OP_LOAD, OP_LOCK_ACQ):
+            entry.state = ST_MEMQ  # address generated; awaits permission
+            self._memq.append(entry.seq)
+        elif op in (OP_STORE, OP_LOCK_REL):
+            if self._sc_mode:
+                entry.state = ST_MEMQ
+                self._memq.append(entry.seq)
+            else:
+                # PC/RC: stores are done once the address is ready; they
+                # perform from the store buffer after retirement.
+                entry.state = ST_DONE
+                self._wake_dependents(entry)
+        else:
+            entry.state = ST_DONE
+            self._wake_dependents(entry)
+
+    def _wake_dependents(self, entry: WindowEntry) -> None:
+        entries = self._entries
+        for dseq in entry.dependents:
+            dep = entries.get(dseq)
+            if dep is None or dep.pending == 0:
+                continue
+            dep.pending -= 1
+            if dep.pending == 0 and dep.state == ST_WAIT:
+                dep.state = ST_READY
+                heapq.heappush(self._ready, (dseq, dep.uid, dep))
+
+    # ------------------------------------------------------------------ memory queue
+
+    def _process_memq(self, now: int) -> None:
+        if not self._memq:
+            return
+        unit = self.consistency
+        still_queued: List[int] = []
+        for seq in self._memq:
+            entry = self._entries.get(seq)
+            if entry is None or entry.state != ST_MEMQ:
+                continue
+            if entry.retry_at > now:
+                still_queued.append(seq)
+                continue
+            op = entry.instr.op
+            if op in (OP_LOAD, OP_LOCK_ACQ):
+                allowed = unit.may_perform_load(seq)
+            else:
+                allowed = unit.may_perform_store(seq)
+            if not allowed:
+                if unit.wants_prefetch and not entry.prefetched:
+                    self.memsys.prefetch_data(
+                        now, entry.instr.addr,
+                        exclusive=op in (OP_STORE, OP_LOCK_REL,
+                                         OP_LOCK_ACQ),
+                        pc=entry.instr.pc)
+                    entry.prefetched = True
+                # Consistency-blocked: the op becomes performable only
+                # when an older memory op completes, so the next
+                # completion event (not per-cycle polling) re-examines it.
+                entry.retry_at = now
+                still_queued.append(seq)
+                continue
+            if op == OP_LOCK_ACQ:
+                holder = self.lock_table.get(entry.instr.addr)
+                if holder is not None and holder != self.process.pid:
+                    entry.retry_at = now + LOCK_SPIN_INTERVAL
+                    still_queued.append(seq)
+                    continue
+                self.lock_table[entry.instr.addr] = self.process.pid
+            is_write = op in (OP_STORE, OP_LOCK_REL, OP_LOCK_ACQ)
+            result = self.memsys.access_data(now, entry.instr.addr,
+                                             is_write, entry.instr.pc)
+            if result.stalled:
+                entry.retry_at = result.retry_at
+                if op == OP_LOCK_ACQ:
+                    # Retry the whole acquire; drop the provisional grab.
+                    if self.lock_table.get(entry.instr.addr) == \
+                            self.process.pid:
+                        del self.lock_table[entry.instr.addr]
+                still_queued.append(seq)
+                continue
+            entry.state = ST_MEMACC
+            entry.done_at = result.done_at
+            entry.category = result.category
+            entry.tlb_miss = result.tlb_miss
+            heapq.heappush(self._completions,
+                           (entry.done_at, entry.uid, entry))
+            if op == OP_LOAD and unit.load_is_speculative(seq):
+                line = self.memsys.page_table.translate_line(
+                    entry.instr.addr, self.memsys.line_shift)
+                unit.note_speculative_load(seq, line)
+        self._memq = still_queued
+
+    # ------------------------------------------------------------------ retire
+
+    def _retire(self, now: int) -> None:
+        width = self.proc.issue_width
+        if self.shared is not None:
+            width = min(width, self.shared.retire_slots)
+        retired = 0
+        stall_category: Optional[int] = None
+        window = self._window
+        while retired < width:
+            if not window:
+                if now < self._fetch_blocked_until:
+                    stall_category = INSTR if self._fetch_block_instr \
+                        else CPU_STALL
+                else:
+                    stall_category = CPU_STALL
+                break
+            entry = window[0]
+            if entry.state != ST_DONE:
+                stall_category = self._classify_stall(entry)
+                break
+            op = entry.instr.op
+            if op == OP_MB and not self.storebuf.empty:
+                stall_category = SYNC
+                break
+            if op in (OP_STORE, OP_LOCK_REL) and not self._sc_mode:
+                if op == OP_LOCK_REL:
+                    self.lock_table.pop(entry.instr.addr, None)
+                if not self.storebuf.push_store(entry.instr.addr,
+                                                entry.instr.pc):
+                    stall_category = WRITE
+                    break
+            elif op == OP_LOCK_REL:  # SC: already performed in order
+                self.lock_table.pop(entry.instr.addr, None)
+            elif op == OP_WMB:
+                self.storebuf.push_barrier()
+            elif op == OP_FLUSH:
+                self.memsys.flush_line(now, entry.instr.addr)
+            window.popleft()
+            del self._entries[entry.seq]
+            if op in _MEMQ_OPS:
+                self._mem_inflight -= 1
+            self.consistency.note_removed(entry.seq)
+            self._trace.release_through(entry.seq)
+            retired += 1
+            self.retired += 1
+            self.stats.instructions += 1
+            if self.shared is not None:
+                self.shared.retire_slots -= 1
+            if op == OP_SYSCALL:
+                self.syscall_retired = True
+                break
+        # Busy fraction is measured against the full machine width so
+        # SMT contexts' breakdowns sum like the paper's per-CPU bars.
+        machine_width = self.proc.issue_width
+        self.stats.busy(retired / machine_width)
+        if retired < machine_width and stall_category is not None:
+            self.stats.stall(stall_category, 1.0 - retired / machine_width)
+            self._gap_category = stall_category
+        else:
+            self._gap_category = CPU_STALL
+
+    def _classify_stall(self, entry: WindowEntry) -> int:
+        op = entry.instr.op
+        if op in (OP_LOCK_ACQ, OP_LOCK_REL, OP_MB, OP_WMB):
+            return SYNC
+        if entry.state == ST_MEMACC:
+            if op == OP_STORE:
+                return WRITE
+            if entry.tlb_miss:
+                return READ_DTLB
+            return _CAT_TO_READ[entry.category]
+        if entry.state == ST_MEMQ:
+            return WRITE if op == OP_STORE else READ_L1
+        if op == OP_LOAD:
+            return READ_L1  # address generation / restart: "L1 + misc"
+        if op == OP_STORE:
+            return WRITE
+        return CPU_STALL
+
+    # ------------------------------------------------------------------ squash
+
+    def _squash_from(self, seq: int, now: int, penalty: int) -> None:
+        """Remove all entries with seq >= ``seq`` and refetch from there."""
+        window = self._window
+        entries = self._entries
+        while window and window[-1].seq >= seq:
+            entry = window.pop()
+            del entries[entry.seq]
+            if entry.instr.op in _MEMQ_OPS:
+                self._mem_inflight -= 1
+            self.consistency.note_removed(entry.seq)
+            if entry.instr.op == OP_BRANCH and entry.state != ST_DONE:
+                self._unresolved_branches -= 1
+        self._memq = [s for s in self._memq if s < seq]
+        self._next_seq = seq
+        self._inorder_ptr = min(self._inorder_ptr, seq)
+        self._fetch_blocked_until = now + penalty
+        self._fetch_block_instr = False
+        self._cur_fetch_line = -1
+        # Ready/completion heaps are cleaned lazily via identity checks.
+
+    def _on_line_removed(self, line: int) -> None:
+        """Invalidation/replacement hook: speculative-load violations."""
+        seq = self.consistency.check_violation(line)
+        if seq is None:
+            return
+        if self._rollback_to is None or seq < self._rollback_to:
+            self._rollback_to = seq
+
+    def apply_pending_rollback(self, now: int) -> None:
+        """Called by the machine after memory activity each cycle."""
+        if self._rollback_to is None:
+            return
+        seq = self._rollback_to
+        self._rollback_to = None
+        if seq not in self._entries:
+            return
+        self._squash_from(seq, now, penalty=ROLLBACK_RESTART)
+
+    # ------------------------------------------------------------------ skip-ahead
+
+    def _next_event(self, now: int, sb_event: Optional[int]) -> int:
+        """Earliest future cycle at which this core can make progress."""
+        candidates = []
+        if self._completions:
+            candidates.append(self._completions[0][0])
+        if sb_event is not None:
+            candidates.append(sb_event)
+        for seq in self._memq:
+            entry = self._entries.get(seq)
+            if entry is None:
+                return now + 1
+            if entry.retry_at > now:
+                candidates.append(entry.retry_at)
+            # retry_at <= now: consistency-blocked; it wakes with the
+            # next completion, which is already among the candidates.
+        if self._issue_wake == 1:
+            return now + 1
+        if self._fetch_blocked_until != FAR_FUTURE and \
+                len(self._window) < self.proc.window_size:
+            candidates.append(max(now + 1, self._fetch_blocked_until))
+        if not candidates:
+            return now + 1 if self._window else FAR_FUTURE
+        return max(now + 1, min(candidates))

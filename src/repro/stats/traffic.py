@@ -1,0 +1,77 @@
+"""Coherence-protocol and interconnect traffic profile.
+
+Condenses the directory and mesh counters of a run into the per-1000-
+instruction rates architects compare across workloads: how often the
+protocol reads/writes/upgrades/invalidates, how much of the traffic is
+communication (dirty) vs capacity (memory-serviced), and how busy the
+network was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.mem.coherence import CoherenceStats
+
+
+@dataclass
+class TrafficReport:
+    """Protocol action rates, all per 1000 retired instructions."""
+
+    reads: float
+    writes: float
+    upgrades: float
+    invalidations: float
+    writebacks: float
+    flushes: float
+    dirty_transfers: float
+    communication_fraction: float   # dirty / all directory reads
+    network_messages: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "upgrades": self.upgrades,
+            "invalidations": self.invalidations,
+            "writebacks": self.writebacks,
+            "flushes": self.flushes,
+            "dirty_transfers": self.dirty_transfers,
+            "communication_fraction": self.communication_fraction,
+            "network_messages": self.network_messages,
+        }
+
+    def format(self) -> str:
+        lines = ["Protocol traffic (per 1000 instructions):"]
+        for key, value in self.as_dict().items():
+            if key == "communication_fraction":
+                lines.append(f"  {key:<24s} {value:8.1%}")
+            else:
+                lines.append(f"  {key:<24s} {value:8.2f}")
+        return "\n".join(lines)
+
+
+def traffic_report(coherence: CoherenceStats, instructions: int,
+                   network_messages: int = 0) -> TrafficReport:
+    """Build a :class:`TrafficReport` from a run's counters."""
+    if instructions <= 0:
+        raise ValueError("instructions must be positive")
+    per_k = 1000.0 / instructions
+    reads = (coherence.reads_local + coherence.reads_remote
+             + coherence.reads_dirty)
+    writes = (coherence.writes_local + coherence.writes_remote
+              + coherence.writes_dirty)
+    dirty = coherence.reads_dirty + coherence.writes_dirty
+    return TrafficReport(
+        reads=reads * per_k,
+        writes=writes * per_k,
+        upgrades=coherence.upgrades * per_k,
+        invalidations=coherence.invalidations_sent * per_k,
+        writebacks=coherence.writebacks * per_k,
+        flushes=coherence.flushes * per_k,
+        dirty_transfers=dirty * per_k,
+        communication_fraction=(
+            coherence.reads_dirty / reads if reads else 0.0),
+        network_messages=network_messages * per_k,
+    )

@@ -1,0 +1,193 @@
+"""The simulated CC-NUMA multiprocessor (paper section 2.4).
+
+A :class:`Machine` ties together one :class:`ProcessorCore` + node memory
+system per node, the global page table, mesh network, directory-based
+coherent memory, the shared lock table (lock values live in the simulated
+environment -- paper section 2.2), and the per-CPU schedulers.
+
+The main loop is cycle-driven with event skip-ahead: when every core
+reports that nothing can happen before some future cycle, the clock jumps
+there and the skipped cycles are charged to each core's current stall
+category, preserving the paper's accounting convention at a fraction of
+the simulation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+from repro.cpu.core import FAR_FUTURE, ProcessorCore
+from repro.cpu.smt import SmtCore
+from repro.mem.coherence import CoherentMemory
+from repro.mem.interconnect import MeshNetwork
+from repro.mem.memsys import NodeMemorySystem
+from repro.mem.tlb import PageTable
+from repro.params import SystemParams
+from repro.stats.breakdown import ExecutionBreakdown
+from repro.stats.mshr import MshrOccupancyGroup
+from repro.system.process import Process
+from repro.system.scheduler import CpuScheduler
+
+
+class DeadlockError(RuntimeError):
+    """The simulation cannot make progress (indicates a modelling bug)."""
+
+
+class Machine:
+    """A complete simulated multiprocessor running a set of processes."""
+
+    def __init__(self, params: SystemParams,
+                 generators: Sequence[Iterator]):
+        self.params = params
+        n = params.n_nodes
+        lines_per_page = params.page_size // params.l2.line_size
+        self.page_table = PageTable(params.page_size, n)
+        self.mesh = MeshNetwork(n, params.mesh_width if n > 1 else 1)
+        self.memory = CoherentMemory(
+            params.latencies, self.mesh, lines_per_page,
+            migratory_read_speedup=params.migratory_read_speedup,
+            migratory_protocol=params.migratory_protocol)
+        self.lock_table: Dict[int, int] = {}
+
+        self.l1d_mshr_stats = MshrOccupancyGroup(n, max_n=params.l1d.mshrs)
+        self.l2_mshr_stats = MshrOccupancyGroup(n, max_n=params.l2.mshrs)
+        self.nodes: List[NodeMemorySystem] = []
+        self.cores: List[ProcessorCore] = []
+        for node_id in range(n):
+            memsys = NodeMemorySystem(
+                node_id, params, self.page_table, self.memory,
+                l1d_mshr_stats=self.l1d_mshr_stats[node_id],
+                l2_mshr_stats=self.l2_mshr_stats[node_id])
+            self.nodes.append(memsys)
+            if params.processor.smt_contexts > 1:
+                self.cores.append(SmtCore(node_id, params, memsys,
+                                          self.lock_table))
+            else:
+                self.cores.append(ProcessorCore(node_id, params, memsys,
+                                                self.lock_table))
+
+        # Processes are pinned round-robin (dedicated-mode Oracle keeps the
+        # same number of server processes per CPU).
+        self.schedulers = [CpuScheduler(i) for i in range(n)]
+        self.processes: List[Process] = []
+        for pid, gen in enumerate(generators):
+            process = Process(pid, gen, cpu=pid % n)
+            self.processes.append(process)
+            self.schedulers[process.cpu].add(process)
+
+        self.now = 0
+        self.idle_cycles = 0
+        self._measure_started_at = 0
+
+    # ---------------------------------------------------------------- schedule
+
+    def _dispatch_if_idle(self, cpu: int) -> None:
+        core = self.cores[cpu]
+        for _ in range(core.free_slots()):
+            process = self.schedulers[cpu].pick_ready(self.now)
+            if process is None:
+                return
+            core.assign_process(
+                process, self.now,
+                switch_cost=self.params.scheduler.context_switch_cycles)
+
+    def _handle_syscall(self, cpu: int) -> None:
+        core = self.cores[cpu]
+        for process in core.blocked_processes(self.now):
+            process.block(self.now
+                          + self.params.scheduler.blocking_io_cycles)
+            self.schedulers[cpu].add(process)
+        self._dispatch_if_idle(cpu)
+
+    # ---------------------------------------------------------------- main loop
+
+    def total_retired(self) -> int:
+        return sum(core.retired for core in self.cores)
+
+    def run(self, instructions: int, max_cycles: int = 1 << 40) -> int:
+        """Simulate until ``instructions`` more retire (across all cores).
+
+        Returns the number of cycles elapsed during this call.
+        """
+        target = self.total_retired() + instructions
+        start_cycle = self.now
+        deadline = self.now + max_cycles
+        cores = self.cores
+        n = len(cores)
+        while self.total_retired() < target:
+            if self.now >= deadline:
+                raise DeadlockError(
+                    f"exceeded {max_cycles} cycles at "
+                    f"{self.total_retired()} retired instructions")
+            next_time = FAR_FUTURE
+            for cpu in range(n):
+                self._dispatch_if_idle(cpu)
+                t = cores[cpu].tick(self.now)
+                if cores[cpu].syscall_retired:
+                    self._handle_syscall(cpu)
+                    t = self.now + 1
+                if t < next_time:
+                    next_time = t
+            for core in cores:
+                core.apply_pending_rollback(self.now)
+                if core._rollback_to is not None:  # pragma: no cover
+                    next_time = self.now + 1
+            # Idle CPUs wake when a blocked process becomes ready.
+            for cpu in range(n):
+                if cores[cpu].process is None:
+                    wake = self.schedulers[cpu].earliest_wake()
+                    if wake is not None:
+                        next_time = min(next_time, max(self.now + 1, wake))
+            if next_time >= FAR_FUTURE:
+                raise DeadlockError(
+                    f"no core can make progress at cycle {self.now}")
+            self.now = max(self.now + 1, next_time)
+        return self.now - start_cycle
+
+    # ---------------------------------------------------------------- statistics
+
+    def reset_stats(self) -> None:
+        """Discard warmup-transient statistics (paper section 2.2) while
+        keeping all architectural state (caches, directory, predictors)."""
+        for core in self.cores:
+            core.reset_stats()
+        for node in self.nodes:
+            node.l1i_accesses = node.l1i_misses = 0
+            node.l1d_accesses = node.l1d_misses = 0
+            node.l2_accesses = node.l2_misses = 0
+            node.itlb.hits = node.itlb.misses = 0
+            node.dtlb.hits = node.dtlb.misses = 0
+        for core in self.cores:
+            for physical in core.physical_cores():
+                physical.bpred.predictions = 0
+                physical.bpred.mispredictions = 0
+        self.l1d_mshr_stats.reset()
+        self.l2_mshr_stats.reset()
+        self.memory.stats = type(self.memory.stats)()
+        self._measure_started_at = self.now
+
+    @property
+    def measured_cycles(self) -> int:
+        return self.now - self._measure_started_at
+
+    def breakdown(self) -> ExecutionBreakdown:
+        """Aggregate execution-time breakdown across all cores."""
+        return ExecutionBreakdown.merged(core.stats for core in self.cores)
+
+    def miss_rates(self) -> Dict[str, float]:
+        def rate(misses: int, accesses: int) -> float:
+            return misses / accesses if accesses else 0.0
+        l1i = rate(sum(x.l1i_misses for x in self.nodes),
+                   sum(x.l1i_accesses for x in self.nodes))
+        l1d = rate(sum(x.l1d_misses for x in self.nodes),
+                   sum(x.l1d_accesses for x in self.nodes))
+        l2 = rate(sum(x.l2_misses for x in self.nodes),
+                  sum(x.l2_accesses for x in self.nodes))
+        return {"l1i": l1i, "l1d": l1d, "l2": l2}
+
+    def misprediction_rate(self) -> float:
+        physical = [p for core in self.cores
+                    for p in core.physical_cores()]
+        predictions = sum(c.bpred.predictions for c in physical)
+        mispredictions = sum(c.bpred.mispredictions for c in physical)
+        return mispredictions / predictions if predictions else 0.0

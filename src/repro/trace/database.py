@@ -1,0 +1,177 @@
+"""Shared virtual address-space layout for the simulated database engine.
+
+Oracle processes communicate through a shared-memory System Global Area
+(SGA) consisting of a *block buffer* (an in-memory cache of database disk
+blocks) and a *metadata* area (directory information, latches/locks, and the
+fine-grained shared structures whose updates migrate between processors --
+paper sections 2.1 and 4.2).  Server processes additionally have private
+stacks and heaps, and the log writer appends to a redo-log region.
+
+All generators for one simulated machine share a single
+:class:`DatabaseLayout`, so accesses from different processes land on the
+same lines and produce genuine coherence traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+LINE = 64  # bytes; matches the Figure 1 cache line size
+
+# Region bases, chosen far apart so regions never overlap even unscaled.
+CODE_BASE = 0x0100_0000
+BLOCK_BUFFER_BASE = 0x0400_0000
+METADATA_BASE = 0x1000_0000
+LOCK_BASE = 0x1400_0000
+HISTORY_BASE = 0x1800_0000
+LOG_BASE = 0x1C00_0000
+PRIVATE_BASE = 0x4000_0000
+PRIVATE_STRIDE = 0x0100_0000  # per-process private window
+
+
+@dataclass
+class MigratoryHints:
+    """Software-optimization switches for migratory data (paper section 4.2).
+
+    ``prefetch``
+        Insert an exclusive prefetch for the migratory lines a critical
+        section will touch, right after lock acquisition.
+    ``flush``
+        Insert a flush / WriteThrough hint for the dirty migratory lines at
+        the end of the critical section (keeps a clean copy cached).
+    ``pc_filter``
+        When not ``None``, only critical sections whose access PCs intersect
+        this set receive hints -- this models the paper's profile-guided
+        instrumentation of the ~100 hot migratory instructions.
+    """
+
+    prefetch: bool = False
+    flush: bool = False
+    pc_filter: Optional[Set[int]] = None
+
+    def applies_to(self, pcs) -> bool:
+        """Whether a critical section touching ``pcs`` gets hints."""
+        if not (self.prefetch or self.flush):
+            return False
+        if self.pc_filter is None:
+            return True
+        return any(pc in self.pc_filter for pc in pcs)
+
+
+@dataclass
+class DatabaseLayout:
+    """Sizes and bases of every shared region, in bytes.
+
+    The defaults model the paper's scaled-down OLTP database (section 2.3:
+    40 branches, >900MB SGA, >100MB metadata) after applying the simulation
+    capacity scale used by :func:`repro.params.default_system`.
+    """
+
+    code_bytes: int = 560 * 1024          # OLTP instruction working set
+    block_buffer_bytes: int = 512 * 1024
+    metadata_bytes: int = 256 * 1024
+    hot_metadata_bytes: int = 64 * 1024   # frequently-walked directory part
+    n_locks: int = 256
+    migratory_lines: int = 4096           # metadata lines with migratory use
+    hot_migratory_lines: int = 256        # small hot subset (paper: ~520 of
+                                          # ~17K lines take 70% of refs)
+    history_bytes: int = 128 * 1024
+    log_bytes_per_process: int = 64 * 1024
+    private_bytes: int = 64 * 1024        # per-process stack+heap window
+    hot_private_bytes: int = 16 * 1024    # mostly L1-resident private hot set
+
+    def scaled(self, factor: int) -> "DatabaseLayout":
+        """Divide all footprints by ``factor`` (cache sizes scale alike)."""
+        def div(x, lo):
+            return max(lo, x // factor)
+        # Code scales by a quarter of the capacity factor: scaled
+        # transactions execute far fewer instructions, so preserving the
+        # paper's per-reference L1I miss rate (its instruction-stall
+        # behaviour) needs a relatively larger code footprint.
+        return DatabaseLayout(
+            code_bytes=div(self.code_bytes * 4, 4 * LINE),
+            block_buffer_bytes=div(self.block_buffer_bytes, 16 * LINE),
+            metadata_bytes=div(self.metadata_bytes, 16 * LINE),
+            hot_metadata_bytes=div(self.hot_metadata_bytes, 8 * LINE),
+            n_locks=self.n_locks,
+            migratory_lines=max(8, self.migratory_lines // factor),
+            hot_migratory_lines=max(4, self.hot_migratory_lines // factor),
+            history_bytes=div(self.history_bytes, 16 * LINE),
+            log_bytes_per_process=div(self.log_bytes_per_process, 4 * LINE),
+            private_bytes=div(self.private_bytes, 16 * LINE),
+            hot_private_bytes=div(self.hot_private_bytes, 4 * LINE),
+        )
+
+    # ---- address helpers -------------------------------------------------
+
+    @staticmethod
+    def _striped(base: int, offset: int, span: int,
+                 chunk: int = 1024, ways: int = 8,
+                 page: int = 8192) -> int:
+        """Stripe a small region across ``ways`` pages.
+
+        The real SGA metadata spans thousands of pages, so bin-hopping
+        spreads its lines across all home nodes.  Scaled-down regions
+        would otherwise collapse onto one or two pages and serialize at a
+        single directory/memory bank; striping restores the paper's home
+        distribution.
+        """
+        offset %= span
+        block, within = divmod(offset, chunk)
+        way = block % ways
+        segment = block // ways
+        return base + way * page + segment * chunk + within
+
+    def code_addr(self, offset: int) -> int:
+        return CODE_BASE + offset % self.code_bytes
+
+    def block_buffer_addr(self, offset: int) -> int:
+        """Read-mostly half of the block buffer (scans, lookups)."""
+        return BLOCK_BUFFER_BASE + offset % (self.block_buffer_bytes // 2)
+
+    def account_block_addr(self, account: int, offset: int = 0) -> int:
+        """Block holding an account row (updated in place, so these lines
+        migrate between the processes that touch the same block)."""
+        half = self.block_buffer_bytes // 2
+        block = (account * 2048) % half
+        return BLOCK_BUFFER_BASE + half + block + offset
+
+    def metadata_addr(self, offset: int) -> int:
+        """Generic (read-mostly) metadata: a separate striped window above
+        the migratory structures, so directory walks do not perturb
+        migratory sharing."""
+        span = max(LINE, self.metadata_bytes
+                   - self.migratory_lines * LINE)
+        return self._striped(METADATA_BASE + 0x0100_0000, offset, span)
+
+    def hot_metadata_addr(self, offset: int) -> int:
+        """The frequently-walked directory portion of the metadata area."""
+        return self._striped(METADATA_BASE + 0x0100_0000, offset,
+                             self.hot_metadata_bytes)
+
+    def lock_addr(self, lock_id: int) -> int:
+        """Each lock sits on its own cache line (tuned engines pad locks),
+        and locks spread across pages/home nodes like real latch arrays."""
+        return self._striped(LOCK_BASE, (lock_id % self.n_locks) * LINE,
+                             self.n_locks * LINE, chunk=LINE)
+
+    def migratory_addr(self, line_id: int, offset: int = 0) -> int:
+        """Address within the migratory metadata structure ``line_id``."""
+        return self._striped(
+            METADATA_BASE,
+            (line_id % self.migratory_lines) * LINE + offset % LINE,
+            self.migratory_lines * LINE, chunk=LINE)
+
+    def history_addr(self, offset: int) -> int:
+        return HISTORY_BASE + offset % self.history_bytes
+
+    def log_addr(self, pid: int, offset: int) -> int:
+        return (LOG_BASE + pid * self.log_bytes_per_process
+                + offset % self.log_bytes_per_process)
+
+    def private_addr(self, pid: int, offset: int) -> int:
+        return PRIVATE_BASE + pid * PRIVATE_STRIDE + offset % self.private_bytes
+
+    def hot_private_addr(self, pid: int, offset: int) -> int:
+        return PRIVATE_BASE + pid * PRIVATE_STRIDE + offset % self.hot_private_bytes

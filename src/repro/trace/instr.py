@@ -1,0 +1,103 @@
+"""Instruction records produced by the workload generators.
+
+The simulator is trace-driven (like the paper, section 2.2): generators emit
+a dynamic stream of :class:`Instruction` records per server process.  Each
+record carries everything the timing model needs -- operation kind, program
+counter, data address, register dependences expressed as *backward dynamic
+distances*, execution latency, and branch outcome -- so the simulator never
+needs an architectural register file.
+
+Dependence encoding
+-------------------
+``deps`` is a tuple of positive integers; ``d`` in ``deps`` means "this
+instruction consumes the result of the instruction ``d`` positions earlier
+in this process's dynamic stream".  Producers older than the instruction
+window have necessarily completed, so only distances smaller than the window
+matter for timing.
+"""
+
+from __future__ import annotations
+
+# Operation kinds (small ints for speed on the simulator hot path).
+OP_INT = 0        # integer ALU
+OP_FP = 1         # floating point
+OP_LOAD = 2
+OP_STORE = 3
+OP_BRANCH = 4     # conditional branch / jump / call / return
+OP_LOCK_ACQ = 5   # read-modify-write lock acquire (simulator models the spin)
+OP_LOCK_REL = 6   # lock release store
+OP_MB = 7         # Alpha MB: full memory barrier
+OP_WMB = 8        # Alpha WMB: write memory barrier
+OP_SYSCALL = 9    # blocking system call: context-switch hint (paper 2.2)
+OP_PREFETCH = 10  # software non-binding prefetch (exclusive)
+OP_FLUSH = 11     # software flush / WriteThrough hint (sharing writeback)
+
+OP_NAMES = {
+    OP_INT: "int", OP_FP: "fp", OP_LOAD: "load", OP_STORE: "store",
+    OP_BRANCH: "branch", OP_LOCK_ACQ: "lock_acq", OP_LOCK_REL: "lock_rel",
+    OP_MB: "mb", OP_WMB: "wmb", OP_SYSCALL: "syscall",
+    OP_PREFETCH: "prefetch", OP_FLUSH: "flush",
+}
+
+#: Ops that access the data memory hierarchy.
+MEMORY_OPS = frozenset({OP_LOAD, OP_STORE, OP_LOCK_ACQ, OP_LOCK_REL,
+                        OP_PREFETCH, OP_FLUSH})
+
+#: Ops accounted to the synchronization component of execution time.
+SYNC_OPS = frozenset({OP_LOCK_ACQ, OP_LOCK_REL, OP_MB, OP_WMB})
+
+# Branch kinds (for predictor routing, Figure 1).
+BR_COND = 0     # conditional: hybrid PA/g predictor
+BR_JUMP = 1     # computed jump: BTB
+BR_CALL = 2     # call: BTB + RAS push
+BR_RETURN = 3   # return: RAS pop
+
+
+class Instruction:
+    """One dynamic instruction.
+
+    Attributes
+    ----------
+    op:
+        One of the ``OP_*`` constants.
+    pc:
+        Virtual byte address of the instruction (4-byte instructions).
+    addr:
+        Virtual byte address touched by memory ops; 0 otherwise.
+    deps:
+        Backward dynamic distances to producer instructions.
+    latency:
+        Execution latency in cycles once issued to a functional unit.
+    taken / target / branch_kind:
+        Branch outcome metadata (``op == OP_BRANCH`` only).
+    """
+
+    __slots__ = ("op", "pc", "addr", "deps", "latency",
+                 "taken", "target", "branch_kind", "bp_outcome")
+
+    def __init__(self, op, pc, addr=0, deps=(), latency=1,
+                 taken=False, target=0, branch_kind=BR_COND):
+        self.op = op
+        self.pc = pc
+        self.addr = addr
+        self.deps = deps
+        self.latency = latency
+        self.taken = taken
+        self.target = target
+        self.branch_kind = branch_kind
+        # Cached predictor outcome: a squashed-and-refetched branch must
+        # not retrain the predictor or pop the RAS a second time.
+        self.bp_outcome = None
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    def __repr__(self) -> str:  # debugging aid only; not on the hot path
+        extra = ""
+        if self.op == OP_BRANCH:
+            extra = f" taken={self.taken} target={self.target:#x}"
+        elif self.is_memory:
+            extra = f" addr={self.addr:#x}"
+        return (f"Instruction({OP_NAMES[self.op]}, pc={self.pc:#x},"
+                f" deps={self.deps}{extra})")

@@ -1,0 +1,116 @@
+"""Tests for the hybrid PA/g branch predictor, BTB, and RAS."""
+
+import random
+
+from repro.cpu.bpred import BranchPredictor
+from repro.params import BranchPredictorParams
+from repro.trace.instr import BR_CALL, BR_COND, BR_JUMP, BR_RETURN
+
+
+def predictor(**kw):
+    return BranchPredictor(BranchPredictorParams(**kw))
+
+
+class TestConditional:
+    def test_learns_always_taken(self):
+        bp = predictor()
+        for _ in range(10):
+            bp.observe(0x1000, BR_COND, True, 0x2000)
+        bp.mispredictions = 0
+        bp.observe(0x1000, BR_COND, True, 0x2000)
+        assert bp.mispredictions == 0
+
+    def test_learns_alternating_pattern(self):
+        """Local history catches period-2 patterns a bimodal misses."""
+        bp = predictor()
+        outcome = True
+        for _ in range(100):
+            bp.observe(0x1000, BR_COND, outcome, 0x2000)
+            outcome = not outcome
+        bp.predictions = bp.mispredictions = 0
+        for _ in range(20):
+            bp.observe(0x1000, BR_COND, outcome, 0x2000)
+            outcome = not outcome
+        assert bp.mispredictions <= 2
+
+    def test_biased_branch_accuracy(self):
+        bp = predictor()
+        rng = random.Random(7)
+        for _ in range(500):
+            bp.observe(0x1000, BR_COND, rng.random() < 0.9, 0)
+        bp.predictions = bp.mispredictions = 0
+        for _ in range(500):
+            bp.observe(0x1000, BR_COND, rng.random() < 0.9, 0)
+        assert bp.misprediction_rate < 0.25
+
+    def test_random_branch_near_half(self):
+        bp = predictor()
+        rng = random.Random(3)
+        wrong = sum(bp.observe(0x1000, BR_COND, rng.random() < 0.5, 0)
+                    for _ in range(2000))
+        assert 0.35 < wrong / 2000 < 0.65
+
+
+class TestBtb:
+    def test_jump_learns_stable_target(self):
+        bp = predictor()
+        assert bp.observe(0x1000, BR_JUMP, True, 0x5000)   # cold: miss
+        assert not bp.observe(0x1000, BR_JUMP, True, 0x5000)
+
+    def test_jump_target_change_mispredicts(self):
+        bp = predictor()
+        bp.observe(0x1000, BR_JUMP, True, 0x5000)
+        assert bp.observe(0x1000, BR_JUMP, True, 0x6000)
+        assert not bp.observe(0x1000, BR_JUMP, True, 0x6000)
+
+    def test_btb_capacity_eviction(self):
+        bp = predictor(btb_entries=2)
+        bp.observe(0x1000, BR_JUMP, True, 0xA)
+        bp.observe(0x2000, BR_JUMP, True, 0xB)
+        bp.observe(0x3000, BR_JUMP, True, 0xC)  # evicts 0x1000
+        assert bp.observe(0x1000, BR_JUMP, True, 0xA)
+
+
+class TestRas:
+    def test_call_return_pairs(self):
+        bp = predictor()
+        bp.observe(0x1000, BR_CALL, True, 0x5000)
+        # Return to the instruction after the call.
+        assert not bp.observe(0x5100, BR_RETURN, True, 0x1004)
+
+    def test_nested_calls(self):
+        bp = predictor()
+        bp.observe(0x1000, BR_CALL, True, 0x5000)
+        bp.observe(0x5000, BR_CALL, True, 0x6000)
+        assert not bp.observe(0x6010, BR_RETURN, True, 0x5004)
+        assert not bp.observe(0x5100, BR_RETURN, True, 0x1004)
+
+    def test_empty_ras_mispredicts(self):
+        bp = predictor()
+        assert bp.observe(0x5100, BR_RETURN, True, 0x1004)
+
+    def test_ras_overflow_drops_oldest(self):
+        bp = predictor(ras_entries=2)
+        bp.observe(0x1000, BR_CALL, True, 0xA000)
+        bp.observe(0xA000, BR_CALL, True, 0xB000)
+        bp.observe(0xB000, BR_CALL, True, 0xC000)  # drops 0x1004
+        assert not bp.observe(0xC000, BR_RETURN, True, 0xB004)
+        assert not bp.observe(0xB010, BR_RETURN, True, 0xA004)
+        assert bp.observe(0xA010, BR_RETURN, True, 0x1004)
+
+
+class TestPerfect:
+    def test_perfect_never_mispredicts(self):
+        bp = predictor(perfect=True)
+        rng = random.Random(1)
+        wrong = sum(
+            bp.observe(rng.randrange(1 << 20) * 4, BR_COND,
+                       rng.random() < 0.5, rng.randrange(1 << 20))
+            for _ in range(200))
+        assert wrong == 0
+        assert bp.misprediction_rate == 0.0
+
+    def test_counts(self):
+        bp = predictor()
+        bp.observe(0x1000, BR_COND, True, 0)
+        assert bp.predictions == 1

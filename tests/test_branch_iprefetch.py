@@ -1,0 +1,67 @@
+"""Tests for the path-predicting instruction prefetcher (section 4.1)."""
+
+from repro.mem.coherence import CoherentMemory
+from repro.mem.interconnect import MeshNetwork
+from repro.mem.memsys import NodeMemorySystem
+from repro.mem.tlb import PageTable
+from repro.params import default_system
+
+
+def make_node(**overrides):
+    params = default_system(branch_iprefetch=True, **overrides)
+    page_table = PageTable(params.page_size, 4)
+    mesh = MeshNetwork(4, 2)
+    memory = CoherentMemory(params.latencies, mesh, 128)
+    return NodeMemorySystem(0, params, page_table, memory)
+
+
+PC_A = 0x0100_0000
+PC_B = 0x0100_4000  # different line, non-sequential
+
+
+class TestBranchIPrefetch:
+    def test_successor_learned_and_prefetched(self):
+        node = make_node()
+        # Teach the pattern A -> B, then evict B: the next fetch of A
+        # prefetches B (an L1I-resident prediction is never prefetched).
+        ready, _ = node.access_instr(0, PC_A)
+        t = max(0, ready) + 10
+        ready, _ = node.access_instr(t, PC_B)
+        t = max(t, ready) + 10
+        node.l1i.invalidate(node.page_table.translate_line(PC_B))
+        node.access_instr(t, PC_A)
+        assert node.nlp_prefetches >= 1
+
+    def test_prefetched_line_served_from_buffer(self):
+        node = make_node()
+        t = 0
+        for _ in range(3):
+            ready, _ = node.access_instr(t, PC_A)
+            t = max(t, ready) + 500
+            ready, _ = node.access_instr(t, PC_B)
+            t = max(t, ready) + 500
+            # Evict B from L1I so the next round misses again.
+            line_b = node.page_table.translate_line(PC_B)
+            node.l1i.invalidate(line_b)
+        assert node.nlp_hits >= 1
+
+    def test_disabled_by_default(self):
+        params = default_system()
+        assert not params.branch_iprefetch
+        page_table = PageTable(params.page_size, 4)
+        mesh = MeshNetwork(4, 2)
+        memory = CoherentMemory(params.latencies, mesh, 128)
+        node = NodeMemorySystem(0, params, page_table, memory)
+        node.access_instr(0, PC_A)
+        node.access_instr(500, PC_B)
+        node.access_instr(1000, PC_A)
+        assert node.nlp_prefetches == 0
+
+    def test_buffer_bounded(self):
+        node = make_node()
+        t = 0
+        for i in range(40):
+            pc = 0x0100_0000 + (i % 20) * 4096
+            ready, _ = node.access_instr(t, pc)
+            t = max(t, ready) + 50
+        assert len(node._nlp_buffer) <= 8

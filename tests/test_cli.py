@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+import repro.cli as cli
+
+
+@pytest.fixture(autouse=True)
+def tiny_sizes(monkeypatch):
+    monkeypatch.setattr(cli, "_QUICK_SIZES",
+                        {"oltp": (3000, 3000), "dss": (3000, 3000)})
+
+
+class TestCli:
+    def test_characterize(self, capsys):
+        assert cli.main(["--quick", "characterize"]) == 0
+        out = capsys.readouterr().out
+        assert "OLTP" in out and "DSS" in out
+        assert "l1d_miss_rate" in out
+
+    def test_figure_5(self, capsys):
+        assert cli.main(["--quick", "figure", "5", "oltp"]) == 0
+        out = capsys.readouterr().out
+        assert "uniprocessor" in out and "multiprocessor" in out
+
+    def test_figure_7b(self, capsys):
+        assert cli.main(["--quick", "figure", "7b"]) == 0
+        out = capsys.readouterr().out
+        assert "flush" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--quick", "figure", "99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--quick"])

@@ -1,0 +1,147 @@
+"""Tests for the code walker: streams, branch structure, determinism."""
+
+import random
+from collections import Counter
+
+from repro.trace.codewalk import CodeWalker
+from repro.trace.instr import BR_CALL, BR_COND, BR_JUMP, BR_RETURN
+
+
+def walker(seed=1, code_bytes=64 * 1024, **kw):
+    return CodeWalker(base=0x100000, code_bytes=code_bytes,
+                      rng=random.Random(seed), **kw)
+
+
+class TestBlocks:
+    def test_block_pcs_sequential(self):
+        w = walker()
+        pcs = w.block(5)
+        assert len(pcs) == 5
+        assert all(b - a == 4 for a, b in zip(pcs, pcs[1:]))
+
+    def test_block_len_deterministic_per_pc(self):
+        w1, w2 = walker(seed=1), walker(seed=2)
+        for pc in (0x100000, 0x100040, 0x105554):
+            assert w1.block_len_at(pc, 4, 7) == w2.block_len_at(pc, 4, 7)
+            assert 4 <= w1.block_len_at(pc, 4, 7) <= 7
+
+    def test_pcs_stay_in_code_region(self):
+        w = walker(code_bytes=8 * 1024)
+        for _ in range(2000):
+            pcs = w.block(4)
+            assert all(0x100000 <= pc < 0x100000 + 8 * 1024 + 64 * 16
+                       for pc in pcs)
+            w.end_block()
+
+
+class TestBranches:
+    def test_branch_kind_mostly_stable_per_site(self):
+        """A static branch PC keeps one dominant kind (routine-end and
+        call-depth boundary cases may occasionally force another)."""
+        w = walker()
+        per_site = {}
+        for _ in range(6000):
+            w.block(4)
+            desc = w.end_block()
+            per_site.setdefault(desc.pc, Counter())[desc.kind] += 1
+        revisited = {pc: c for pc, c in per_site.items()
+                     if sum(c.values()) >= 5}
+        assert revisited
+        stable = sum(1 for c in revisited.values()
+                     if max(c.values()) / sum(c.values()) >= 0.8)
+        assert stable / len(revisited) > 0.8
+
+    def test_all_kinds_occur(self):
+        w = walker()
+        kinds = Counter()
+        for _ in range(3000):
+            w.block(4)
+            kinds[w.end_block().kind] += 1
+        assert set(kinds) == {BR_COND, BR_CALL, BR_RETURN, BR_JUMP}
+        assert kinds[BR_COND] > kinds[BR_CALL]
+
+    def test_calls_and_returns_balance(self):
+        w = walker()
+        kinds = Counter()
+        for _ in range(5000):
+            w.block(4)
+            kinds[w.end_block().kind] += 1
+        # Returns can only follow calls; counts track each other.
+        assert abs(kinds[BR_CALL] - kinds[BR_RETURN]) <= 10
+
+    def test_not_taken_falls_through(self):
+        w = walker()
+        for _ in range(2000):
+            w.block(4)
+            desc = w.end_block()
+            next_pc = w.block(1)[0]
+            if desc.taken:
+                assert next_pc == desc.target
+            else:
+                assert next_pc == desc.pc + 4
+
+    def test_call_target_stable_per_site(self):
+        w = walker(call_target_variability=0.0,
+                   jump_target_variability=0.0)
+        targets = {}
+        for _ in range(5000):
+            w.block(4)
+            desc = w.end_block()
+            if desc.kind in (BR_CALL, BR_JUMP):
+                if desc.pc in targets:
+                    assert targets[desc.pc] == desc.target
+                targets[desc.pc] = desc.target
+
+
+class TestStreams:
+    def test_streaming_reference_pattern(self):
+        """Successive I-references access successive lines in short
+        streams (paper section 4.1)."""
+        w = walker(avg_routine_lines=2)
+        lines = []
+        for _ in range(4000):
+            for pc in w.block(4):
+                lines.append(pc >> 6)
+            w.end_block()
+        transitions = [b - a for a, b in zip(lines, lines[1:]) if b != a]
+        sequential = sum(1 for d in transitions if d == 1)
+        # A large fraction of line transitions are to the next line.
+        assert sequential / len(transitions) > 0.4
+
+    def test_phase_entries_spread_over_region(self):
+        w = walker(code_bytes=64 * 1024)
+        entry_pcs = set()
+        for phase in range(8):
+            w.enter_phase(phase, 8)
+            entry_pcs.add(w.pc)
+        assert len(entry_pcs) == 8
+        span = max(entry_pcs) - min(entry_pcs)
+        assert span > 32 * 1024  # spread across the region
+
+    def test_enter_phase_clears_stack(self):
+        w = walker()
+        for _ in range(50):
+            w.block(4)
+            w.end_block()
+        w.enter_phase(0, 4)
+        w.block(4)
+        desc = w.end_block()
+        assert desc.kind != BR_RETURN or desc.target  # no stale stack pop
+
+
+class TestLocality:
+    def test_call_locality_keeps_targets_near(self):
+        w = walker(code_bytes=256 * 1024, call_locality=4,
+                   call_target_variability=0.0, hot_fraction=0.0)
+        spans = []
+        for _ in range(4000):
+            w.block(4)
+            desc = w.end_block()
+            if desc.kind == BR_CALL:
+                spans.append(abs(desc.target - desc.pc))
+        assert spans
+        near = sum(1 for s in spans if s < 16 * 1024)
+        assert near / len(spans) > 0.9
+
+    def test_n_routines(self):
+        assert walker(code_bytes=16 * 1024).n_routines > 10

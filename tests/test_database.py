@@ -1,0 +1,116 @@
+"""Tests for the shared database address-space layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.database import (
+    BLOCK_BUFFER_BASE,
+    CODE_BASE,
+    HISTORY_BASE,
+    LOCK_BASE,
+    LOG_BASE,
+    METADATA_BASE,
+    PRIVATE_BASE,
+    PRIVATE_STRIDE,
+    DatabaseLayout,
+    MigratoryHints,
+)
+
+
+class TestLayoutRegions:
+    def setup_method(self):
+        self.layout = DatabaseLayout()
+
+    def test_region_bases_ordered_and_disjoint(self):
+        bases = [CODE_BASE, BLOCK_BUFFER_BASE, METADATA_BASE, LOCK_BASE,
+                 HISTORY_BASE, LOG_BASE, PRIVATE_BASE]
+        assert bases == sorted(bases)
+        assert len(set(bases)) == len(bases)
+
+    def test_code_addr_in_region(self):
+        for offset in (0, 1, self.layout.code_bytes - 1,
+                       self.layout.code_bytes + 5):
+            addr = self.layout.code_addr(offset)
+            assert CODE_BASE <= addr < CODE_BASE + self.layout.code_bytes
+
+    def test_lock_addresses_line_aligned_and_distinct(self):
+        addrs = {self.layout.lock_addr(i)
+                 for i in range(self.layout.n_locks)}
+        assert len(addrs) == self.layout.n_locks
+        assert all(addr % 64 == 0 for addr in addrs)
+
+    def test_migratory_lines_below_generic_metadata(self):
+        top_migratory = self.layout.migratory_addr(
+            self.layout.migratory_lines - 1, 63)
+        assert self.layout.metadata_addr(0) > top_migratory
+
+    def test_hot_metadata_within_metadata_region(self):
+        addr = self.layout.hot_metadata_addr(123456)
+        assert METADATA_BASE <= addr < METADATA_BASE + 0x0400_0000
+
+    def test_account_blocks_disjoint_from_read_buffer(self):
+        read_top = self.layout.block_buffer_addr(10 ** 9)
+        account_bottom = self.layout.account_block_addr(0)
+        assert account_bottom > read_top
+
+    def test_private_regions_per_process_disjoint(self):
+        a = self.layout.private_addr(0, 0)
+        b = self.layout.private_addr(1, 0)
+        assert b - a == PRIVATE_STRIDE
+        assert self.layout.private_addr(0, 10 ** 9) < b
+
+    def test_log_partitioned_per_process(self):
+        top0 = self.layout.log_addr(0, 10 ** 9)
+        bottom1 = self.layout.log_addr(1, 0)
+        assert top0 < bottom1
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    @settings(max_examples=100, deadline=None)
+    def test_history_in_region(self, offset):
+        addr = DatabaseLayout().history_addr(offset)
+        assert HISTORY_BASE <= addr < HISTORY_BASE + 0x0400_0000
+
+
+class TestScaling:
+    def test_scaled_shrinks_every_region(self):
+        big = DatabaseLayout()
+        small = big.scaled(16)
+        assert small.block_buffer_bytes < big.block_buffer_bytes
+        assert small.metadata_bytes < big.metadata_bytes
+        assert small.history_bytes < big.history_bytes
+        assert small.private_bytes < big.private_bytes
+        assert small.migratory_lines < big.migratory_lines
+
+    def test_scaled_keeps_minimums(self):
+        tiny = DatabaseLayout().scaled(1 << 20)
+        assert tiny.code_bytes >= 4 * 64
+        assert tiny.migratory_lines >= 8
+        assert tiny.hot_migratory_lines >= 4
+
+    def test_code_scales_by_quarter_factor(self):
+        big = DatabaseLayout()
+        small = big.scaled(16)
+        assert small.code_bytes == big.code_bytes * 4 // 16
+
+    def test_lock_count_preserved(self):
+        assert DatabaseLayout().scaled(16).n_locks == \
+            DatabaseLayout().n_locks
+
+
+class TestMigratoryHints:
+    def test_disabled_by_default(self):
+        assert not MigratoryHints().applies_to([1, 2, 3])
+
+    def test_no_filter_applies_everywhere(self):
+        hints = MigratoryHints(flush=True)
+        assert hints.applies_to([42])
+
+    def test_filter_intersection(self):
+        hints = MigratoryHints(prefetch=True, pc_filter={10, 20})
+        assert hints.applies_to([5, 20])
+        assert not hints.applies_to([5, 6])
+
+    def test_empty_filter_applies_nowhere(self):
+        hints = MigratoryHints(flush=True, pc_filter=set())
+        assert not hints.applies_to([1])

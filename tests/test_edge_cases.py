@@ -1,0 +1,119 @@
+"""Edge-case tests across modules."""
+
+import random
+
+import pytest
+
+from repro.mem.coherence import CoherentMemory
+from repro.mem.interconnect import MeshNetwork
+from repro.mem.memsys import NodeMemorySystem
+from repro.mem.tlb import PageTable
+from repro.params import MemoryLatencies, default_system
+from repro.stats.mshr import MshrOccupancy, MshrOccupancyGroup
+from repro.trace.codewalk import CodeWalker
+
+
+class TestMshrOccupancyGroup:
+    def test_busy_weighted_average(self):
+        group = MshrOccupancyGroup(2, max_n=4)
+        # Cache 0: 100 cycles at occupancy 1.
+        group[0].add_interval(0, 100, True)
+        # Cache 1: 300 cycles at occupancy 2.
+        group[1].add_interval(0, 300, True)
+        group[1].add_interval(0, 300, True)
+        dist = group.distribution()
+        assert dist[1] == pytest.approx(1.0)
+        # >=2 holds on cache 1's 300 of 400 busy cycles.
+        assert dist[2] == pytest.approx(300 / 400)
+
+    def test_empty_group(self):
+        group = MshrOccupancyGroup(3)
+        assert all(v == 0.0 for v in group.distribution().values())
+
+    def test_reset(self):
+        group = MshrOccupancyGroup(1)
+        group[0].add_interval(0, 10, True)
+        group.reset()
+        assert group.distribution()[1] == 0.0
+
+
+class TestCodeWalkerEdges:
+    def test_enter_phase_wraps(self):
+        w = CodeWalker(0x100000, 16 * 1024, random.Random(0))
+        w.enter_phase(0, 8)
+        first = w.pc
+        w.enter_phase(8, 8)  # same slot modulo n_phases
+        assert w.pc == first
+        w.enter_phase(123456, 8)  # any index is safe
+        assert 0x100000 <= w.pc < 0x100000 + 16 * 1024 + 4096
+
+    def test_block_len_bounds_inclusive(self):
+        w = CodeWalker(0x100000, 4096, random.Random(0))
+        lengths = {w.block_len_at(0x100000 + 4 * i, 3, 6)
+                   for i in range(2000)}
+        assert lengths <= {3, 4, 5, 6}
+        assert len(lengths) > 1
+
+
+class TestNodeMemorySystemEdges:
+    def _node(self):
+        params = default_system()
+        pt = PageTable(params.page_size, 4)
+        mem = CoherentMemory(params.latencies, MeshNetwork(4, 2), 128)
+        return NodeMemorySystem(0, params, pt, mem), mem
+
+    def test_flush_line_dirty_only_in_l1(self):
+        """A line dirty in L1 (not yet written back to L2) still flushes
+        correctly: node-level dirtiness is the union of both levels."""
+        node, mem = self._node()
+        vaddr = 0x1000_0000
+        w = node.access_data(0, vaddr, is_write=True)
+        line = node.page_table.translate_line(vaddr)
+        assert node.l1d.is_dirty(line)
+        assert node.line_dirty(line)
+        node.flush_line(w.done_at + 1, vaddr)
+        assert mem.stats.flushes == 1
+        assert not node.line_dirty(line)
+
+    def test_prefetch_dropped_when_mshrs_full(self):
+        import dataclasses
+        params = default_system()
+        params = params.replace(
+            l1d=dataclasses.replace(params.l1d, mshrs=1))
+        pt = PageTable(params.page_size, 4)
+        mem = CoherentMemory(params.latencies, MeshNetwork(4, 2), 128)
+        node = NodeMemorySystem(0, params, pt, mem)
+        node.access_data(0, 0x1000_0000, False)   # occupies the MSHR
+        before = node.l1d_mshrs.outstanding()
+        node.prefetch_data(1, 0x2000_0000)
+        assert node.l1d_mshrs.outstanding() == before  # dropped
+
+    def test_prefetch_of_resident_writable_line_noop(self):
+        node, mem = self._node()
+        vaddr = 0x1000_0000
+        w = node.access_data(0, vaddr, is_write=True)
+        reads_before = mem.stats.reads_local + mem.stats.reads_remote
+        writes_before = (mem.stats.writes_local + mem.stats.writes_remote
+                         + mem.stats.writes_dirty + mem.stats.upgrades)
+        node.prefetch_data(w.done_at + 1, vaddr, exclusive=True)
+        after = (mem.stats.writes_local + mem.stats.writes_remote
+                 + mem.stats.writes_dirty + mem.stats.upgrades)
+        assert after == writes_before  # no new directory traffic
+
+    def test_itlb_miss_penalty_applies(self):
+        node, _ = self._node()
+        pc = 0x0100_0000
+        ready_cold, _ = node.access_instr(0, pc)
+        assert node.itlb.misses >= 1
+        assert ready_cold >= node.params.itlb.miss_latency
+
+
+class TestMeshEdges:
+    def test_single_node_mesh_width_forced(self):
+        mesh = MeshNetwork(1, mesh_width=2)
+        assert mesh.hops(0, 0) == 0
+
+    def test_latencies_frozen(self):
+        lat = MemoryLatencies()
+        with pytest.raises(Exception):
+            lat.local_read = 5

@@ -1,0 +1,70 @@
+"""Structural tests of the figure builders (small simulations)."""
+
+import pytest
+
+from repro.core.figures import (
+    RUN_SIZES,
+    FigureResult,
+    figure4,
+    figure6,
+    figure7a,
+    figure_ilp_issue_width,
+    figure_ilp_mshrs,
+    figure_ilp_window,
+)
+
+TINY = dict(instructions=4000, warmup=4000)
+
+
+class TestFigureBuilders:
+    def test_run_sizes_defined_for_both_workloads(self):
+        assert set(RUN_SIZES) == {"oltp", "dss"}
+        for instr, warm in RUN_SIZES.values():
+            assert instr > 0 and warm > 0
+
+    def test_issue_width_labels(self):
+        fig = figure_ilp_issue_width("dss", widths=(1, 4), **TINY)
+        labels = [row.label for row in fig.rows]
+        assert labels == ["inorder-1w", "inorder-4w", "ooo-1w", "ooo-4w"]
+        assert fig.rows[0].normalized == 1.0
+
+    def test_window_sweep_configures_processor(self):
+        fig = figure_ilp_window("dss", windows=(16, 64), **TINY)
+        assert fig.row("win-16").result.params.processor.window_size == 16
+        assert fig.row("win-64").result.params.processor.window_size == 64
+
+    def test_mshr_sweep_has_occupancy_extras(self):
+        fig = figure_ilp_mshrs("dss", counts=(2, 8), **TINY)
+        assert "l1d_occupancy_all" in fig.extras
+        assert "l2_occupancy_reads" in fig.extras
+        dist = fig.extras["l1d_occupancy_all"]
+        assert dist[1] == pytest.approx(1.0)
+
+    def test_figure4_bars(self):
+        fig = figure4(**TINY)
+        labels = {row.label for row in fig.rows}
+        assert labels == {"base", "infinite-fu", "perfect-bpred",
+                          "perfect-icache", "128win-all-perfect"}
+        perfect = fig.row("128win-all-perfect").result.params
+        assert perfect.perfect_icache
+        assert perfect.bpred.perfect
+        assert perfect.processor.infinite_functional_units
+        assert perfect.processor.window_size == 128
+        assert perfect.itlb.perfect and perfect.dtlb.perfect
+
+    def test_figure6_covers_nine_configurations(self):
+        fig = figure6("dss", **TINY)
+        assert len(fig.rows) == 9
+        assert fig.normalized("SC-straight") == 1.0
+
+    def test_figure7a_configs(self):
+        fig = figure7a(**TINY)
+        assert fig.row("streambuf-4").result.params \
+            .stream_buffer_entries == 4
+        assert fig.row("perfect-icache").result.params.perfect_icache
+
+    def test_normalization_relative_to_first(self):
+        fig = figure_ilp_window("dss", windows=(16, 128), **TINY)
+        base = fig.row("win-16").result.execution_time
+        other = fig.row("win-128").result.execution_time
+        assert fig.normalized("win-128") == pytest.approx(other / base)

@@ -1,0 +1,60 @@
+"""Tests for the 2D mesh interconnect model."""
+
+import pytest
+
+from repro.mem.interconnect import MeshNetwork
+
+
+class TestMeshNetwork:
+    def test_hop_distances_2x2(self):
+        mesh = MeshNetwork(4, mesh_width=2)
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 1) == 1
+        assert mesh.hops(0, 2) == 1
+        assert mesh.hops(0, 3) == 2
+        assert mesh.hops(1, 2) == 2
+
+    def test_hops_symmetric(self):
+        mesh = MeshNetwork(4, mesh_width=2)
+        for a in range(4):
+            for b in range(4):
+                assert mesh.hops(a, b) == mesh.hops(b, a)
+
+    def test_uniprocessor(self):
+        mesh = MeshNetwork(1, mesh_width=1)
+        assert mesh.hops(0, 0) == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            MeshNetwork(3, mesh_width=2)
+
+    def test_inject_queues_at_interface(self):
+        mesh = MeshNetwork(4, ni_occupancy=4)
+        t0 = mesh.inject(0, now=100)
+        t1 = mesh.inject(0, now=100)
+        t2 = mesh.inject(0, now=100)
+        assert t0 == 100
+        assert t1 == 104
+        assert t2 == 108
+
+    def test_inject_independent_per_node(self):
+        mesh = MeshNetwork(4, ni_occupancy=4)
+        mesh.inject(0, 100)
+        assert mesh.inject(1, 100) == 100
+
+    def test_inject_after_idle_is_immediate(self):
+        mesh = MeshNetwork(4, ni_occupancy=4)
+        mesh.inject(0, 0)
+        assert mesh.inject(0, 1000) == 1000
+
+    def test_message_count(self):
+        mesh = MeshNetwork(4)
+        mesh.inject(0, 0)
+        mesh.inject(1, 0)
+        assert mesh.messages == 2
+
+    def test_reset_contention(self):
+        mesh = MeshNetwork(4, ni_occupancy=10)
+        mesh.inject(0, 0)
+        mesh.reset_contention()
+        assert mesh.inject(0, 0) == 0

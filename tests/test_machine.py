@@ -1,0 +1,136 @@
+"""Tests for the multiprocessor machine: scheduling, skip-ahead, stats."""
+
+import itertools
+
+import pytest
+
+from repro.params import default_system
+from repro.system.machine import DeadlockError, Machine
+from repro.system.scheduler import CpuScheduler
+from repro.system.process import Process
+from repro.trace.instr import Instruction, OP_INT, OP_SYSCALL
+
+CODE = 0x0100_0000
+
+
+def alu_stream():
+    return itertools.cycle([Instruction(OP_INT, CODE + 4 * i)
+                            for i in range(64)])
+
+
+def blocking_stream(work=30):
+    program = [Instruction(OP_INT, CODE + 4 * i) for i in range(work)]
+    program.append(Instruction(OP_SYSCALL, CODE + 4 * work))
+    return itertools.cycle(program)
+
+
+class TestMachineBasics:
+    def test_processes_pinned_round_robin(self):
+        params = default_system()
+        m = Machine(params, [alu_stream() for _ in range(8)])
+        assert [p.cpu for p in m.processes] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_all_cores_make_progress(self):
+        params = default_system()
+        m = Machine(params, [alu_stream() for _ in range(4)])
+        m.run(8000)
+        assert all(core.retired > 500 for core in m.cores)
+
+    def test_run_returns_elapsed_cycles(self):
+        m = Machine(default_system(), [alu_stream() for _ in range(4)])
+        c1 = m.run(1000)
+        c2 = m.run(1000)
+        assert c1 > 0 and c2 > 0
+        assert m.now == c1 + c2
+
+    def test_max_cycles_raises(self):
+        m = Machine(default_system(n_nodes=1, mesh_width=1),
+                    [blocking_stream(work=5)])
+        with pytest.raises(DeadlockError):
+            m.run(10_000_000, max_cycles=5000)
+
+    def test_uniprocessor_configuration(self):
+        params = default_system(n_nodes=1, mesh_width=1)
+        m = Machine(params, [alu_stream() for _ in range(4)])
+        m.run(2000)
+        assert len(m.cores) == 1
+        assert m.memory.stats.reads_dirty == 0
+
+    def test_breakdown_accounts_all_time(self):
+        params = default_system()
+        m = Machine(params, [alu_stream() for _ in range(4)])
+        cycles = m.run(4000)
+        bd = m.breakdown()
+        accounted = sum(bd.cycles)
+        # Total accounted (incl. idle) matches cores x cycles within the
+        # one-cycle-per-core tick granularity.
+        assert accounted == pytest.approx(cycles * 4, rel=0.02)
+
+
+class TestScheduling:
+    def test_io_latency_hidden_by_other_processes(self):
+        # Enough sibling processes that their work covers one blocking
+        # call's latency (8 x ~1500 cycles > 8000-cycle I/O).
+        params = default_system(n_nodes=1, mesh_width=1)
+        m = Machine(params, [blocking_stream(3000) for _ in range(8)])
+        m.run(60_000)
+        bd = m.breakdown()
+        idle_share = bd.cycles[-1] / sum(bd.cycles)
+        assert idle_share < 0.15  # paper: idle factored out, < 10%
+
+    def test_single_process_exposes_io(self):
+        params = default_system(n_nodes=1, mesh_width=1)
+        m = Machine(params, [blocking_stream(100)])
+        m.run(3000)
+        bd = m.breakdown()
+        idle_share = bd.cycles[-1] / sum(bd.cycles)
+        assert idle_share > 0.5
+
+    def test_syscall_counts(self):
+        params = default_system(n_nodes=1, mesh_width=1)
+        m = Machine(params, [blocking_stream(50) for _ in range(2)])
+        m.run(8000)
+        assert sum(p.syscalls for p in m.processes) > 5
+
+    def test_reset_stats_keeps_architecture(self):
+        params = default_system()
+        m = Machine(params, [alu_stream() for _ in range(4)])
+        m.run(3000)
+        retired_before = m.total_retired()
+        m.reset_stats()
+        assert m.total_retired() == retired_before  # counter kept
+        assert m.breakdown().total == 0
+        assert m.miss_rates()["l1i"] == 0.0
+        m.run(1000)
+        assert m.breakdown().total > 0
+
+
+class TestCpuScheduler:
+    def test_round_robin_pick(self):
+        sched = CpuScheduler(0)
+        procs = [Process(i, alu_stream(), 0) for i in range(3)]
+        for p in procs:
+            sched.add(p)
+        picked = sched.pick_ready(0)
+        assert picked is procs[0]
+        sched.add(picked)
+        assert sched.pick_ready(0) is procs[1]
+
+    def test_blocked_processes_skipped(self):
+        sched = CpuScheduler(0)
+        a, b = Process(0, alu_stream(), 0), Process(1, alu_stream(), 0)
+        a.block(1000)
+        sched.add(a)
+        sched.add(b)
+        assert sched.pick_ready(0) is b
+
+    def test_none_when_all_blocked(self):
+        sched = CpuScheduler(0)
+        p = Process(0, alu_stream(), 0)
+        p.block(1000)
+        sched.add(p)
+        assert sched.pick_ready(0) is None
+        assert sched.earliest_wake() == 1000
+
+    def test_earliest_wake_empty(self):
+        assert CpuScheduler(0).earliest_wake() is None

@@ -1,0 +1,222 @@
+"""Tests for the per-node memory hierarchy composition."""
+
+import pytest
+
+from repro.mem.coherence import CoherentMemory
+from repro.mem.interconnect import MeshNetwork
+from repro.mem.memsys import (
+    CAT_DIRTY,
+    CAT_L1_HIT,
+    CAT_L2_HIT,
+    CAT_LOCAL,
+    CAT_REMOTE,
+    NodeMemorySystem,
+)
+from repro.mem.tlb import PageTable
+from repro.params import default_system
+from repro.stats.mshr import MshrOccupancy
+
+
+def make_node(params=None, node_id=0, n_nodes=4):
+    params = params or default_system()
+    page_table = PageTable(params.page_size, n_nodes)
+    mesh = MeshNetwork(n_nodes, 2 if n_nodes > 1 else 1)
+    memory = CoherentMemory(params.latencies, mesh,
+                            params.page_size // 64)
+    nodes = [NodeMemorySystem(i, params, page_table, memory)
+             for i in range(n_nodes)]
+    return nodes[node_id], nodes, memory
+
+
+VADDR = 0x1000_0000
+
+
+class TestDataPath:
+    def test_cold_miss_then_hit(self):
+        node, _, _ = make_node()
+        first = node.access_data(0, VADDR, is_write=False)
+        assert not first.stalled
+        assert first.category in (CAT_LOCAL, CAT_REMOTE)
+        assert first.done_at >= 100
+        again = node.access_data(first.done_at + 1, VADDR, is_write=False)
+        assert again.category == CAT_L1_HIT
+        assert again.done_at == first.done_at + 2  # 1-cycle hit
+
+    def test_l2_hit_after_l1_eviction(self):
+        params = default_system()
+        node, _, _ = make_node(params)
+        lines = params.l1d.num_lines
+        t = 0
+        node.access_data(t, VADDR, False)
+        # Touch enough distinct lines to evict VADDR's line from L1.
+        for i in range(1, 4 * lines):
+            t += 1000
+            node.access_data(t, VADDR + i * 64, False)
+        result = node.access_data(t + 1000, VADDR, False)
+        assert result.category == CAT_L2_HIT
+
+    def test_mshr_coalescing_same_line(self):
+        node, _, _ = make_node()
+        first = node.access_data(0, VADDR, False)
+        second = node.access_data(1, VADDR + 8, False)
+        assert not second.stalled
+        # Coalesced: completes with (not after) the outstanding miss.
+        assert second.done_at <= first.done_at + 2
+
+    def test_write_after_read_miss_upgrades(self):
+        node, nodes, _ = make_node()
+        # Make the line genuinely shared so the read does not get E.
+        nodes[1].access_data(0, VADDR, False)
+        nodes[1]._writable.discard(
+            nodes[1].page_table.translate_line(VADDR))
+        read = node.access_data(1000, VADDR, False)
+        write = node.access_data(read.done_at + 1, VADDR, True)
+        assert not write.stalled
+        line = node.page_table.translate_line(VADDR)
+        assert line in node._writable
+
+    def test_exclusive_grant_enables_silent_write(self):
+        node, _, mem = make_node()
+        read = node.access_data(0, VADDR, False)
+        write = node.access_data(read.done_at + 1, VADDR, True)
+        assert write.category == CAT_L1_HIT  # silent E->M upgrade
+
+    def test_port_saturation_stalls(self):
+        params = default_system()
+        node, _, _ = make_node(params)
+        ports = params.l1d.request_ports
+        t = 10_000
+        for _ in range(ports):
+            assert not node.access_data(t, VADDR, False).stalled
+        third = node.access_data(t, VADDR + 4096, False)
+        assert third.stalled
+        assert third.retry_at == t + 1
+
+    def test_mshr_full_stalls_with_wake_time(self):
+        import dataclasses
+        params = default_system()
+        params = params.replace(
+            l1d=dataclasses.replace(params.l1d, mshrs=1))
+        node, _, _ = make_node(params)
+        first = node.access_data(0, VADDR, False)
+        blocked = node.access_data(1, VADDR + 128 * 8192, False)
+        assert blocked.stalled
+        assert blocked.retry_at == first.done_at
+
+    def test_dirty_transfer_between_nodes(self):
+        node0, nodes, _ = make_node()
+        node1 = nodes[1]
+        w = node0.access_data(0, VADDR, True)
+        r = node1.access_data(w.done_at + 10, VADDR, False)
+        assert r.category == CAT_DIRTY
+
+    def test_invalidation_removes_from_all_levels(self):
+        node0, nodes, _ = make_node()
+        node1 = nodes[1]
+        w = node0.access_data(0, VADDR, True)
+        line = node0.page_table.translate_line(VADDR)
+        node1.access_data(w.done_at + 10, VADDR, True)  # invalidates node0
+        assert not node0.l1d.lookup(line, touch=False)
+        assert not node0.l2.lookup(line, touch=False)
+        assert line not in node0._writable
+
+    def test_violation_hook_fires_on_invalidation(self):
+        node0, nodes, _ = make_node()
+        seen = []
+        node0.violation_hook = seen.append
+        w = node0.access_data(0, VADDR, True)
+        nodes[1].access_data(w.done_at + 10, VADDR, True)
+        assert node0.page_table.translate_line(VADDR) in seen
+
+    def test_perfect_dcache(self):
+        node, _, _ = make_node(default_system(perfect_dcache=True))
+        r = node.access_data(0, VADDR, False)     # cold TLB still misses
+        assert r.category == CAT_L1_HIT
+        r2 = node.access_data(100, VADDR, False)  # warm TLB: pure L1 hit
+        assert r2.category == CAT_L1_HIT
+        assert r2.done_at == 101
+
+
+class TestInstructionPath:
+    def test_cold_then_warm_fetch(self):
+        node, _, _ = make_node()
+        pc = 0x0100_0000
+        ready, cat = node.access_instr(0, pc)
+        assert ready > 0
+        ready2, cat2 = node.access_instr(ready + 1, pc)
+        assert cat2 == CAT_L1_HIT
+        assert ready2 <= ready + 1
+
+    def test_perfect_icache_never_stalls(self):
+        node, _, _ = make_node(default_system(perfect_icache=True))
+        for i in range(50):
+            ready, cat = node.access_instr(i, 0x0100_0000 + i * 4096)
+            assert ready == i
+            assert cat == CAT_L1_HIT
+
+    def test_stream_buffer_catches_sequential_lines(self):
+        node, _, _ = make_node(default_system(stream_buffer_entries=4))
+        pc = 0x0100_0000
+        ready, _ = node.access_instr(0, pc)
+        # Allow prefetches to land, then fetch the next line.
+        ready2, _ = node.access_instr(ready + 500, pc + 64)
+        assert node.stream_buffer.hits == 1
+        # Much faster than a cold memory fetch.
+        assert ready2 - (ready + 500) < 60
+
+    def test_miss_counting_per_reference(self):
+        node, _, _ = make_node()
+        node.access_instr(0, 0x0100_0000)
+        # Accesses are counted by the core per reference; memsys counts
+        # only misses.
+        assert node.l1i_misses == 1
+        assert node.l1i_accesses == 0
+
+
+class TestHints:
+    def test_prefetch_installs_writable_line(self):
+        node, _, _ = make_node()
+        node.prefetch_data(0, VADDR, exclusive=True)
+        line = node.page_table.translate_line(VADDR)
+        assert line in node._writable
+        r = node.access_data(1000, VADDR, True)
+        assert r.category == CAT_L1_HIT
+
+    def test_flush_keeps_clean_copy(self):
+        node, nodes, mem = make_node()
+        w = node.access_data(0, VADDR, True)
+        node.flush_line(w.done_at + 1, VADDR)
+        line = node.page_table.translate_line(VADDR)
+        assert node.l2.lookup(line, touch=False)
+        assert not node.l2.is_dirty(line)
+        assert line not in node._writable
+        # Another node's read is now serviced by memory.
+        r = nodes[1].access_data(w.done_at + 100, VADDR, False)
+        assert r.category in (CAT_LOCAL, CAT_REMOTE)
+
+    def test_flush_of_clean_line_is_noop(self):
+        node, _, mem = make_node()
+        r = node.access_data(0, VADDR, False)
+        node._writable.discard(node.page_table.translate_line(VADDR))
+        node.flush_line(r.done_at + 1, VADDR)
+        assert mem.stats.flushes == 0
+
+
+class TestStats:
+    def test_miss_rates(self):
+        node, _, _ = make_node()
+        node.access_data(0, VADDR, False)
+        t = node.access_data(0, VADDR, False).done_at
+        node.access_data(t + 10, VADDR, False)
+        assert 0 < node.l1d_miss_rate < 1
+
+    def test_mshr_stats_fed(self):
+        params = default_system()
+        page_table = PageTable(params.page_size, 4)
+        mesh = MeshNetwork(4, 2)
+        memory = CoherentMemory(params.latencies, mesh, 128)
+        stats = MshrOccupancy()
+        node = NodeMemorySystem(0, params, page_table, memory,
+                                l1d_mshr_stats=stats)
+        node.access_data(0, VADDR, False)
+        assert stats.distribution()[1] == 1.0

@@ -1,0 +1,70 @@
+"""Tests for the adaptive migratory coherence protocol (footnote 2)."""
+
+from repro.mem.coherence import (
+    DIR_EXCLUSIVE,
+    SVC_DIRTY,
+    CoherentMemory,
+)
+from repro.mem.interconnect import MeshNetwork
+from repro.params import MemoryLatencies
+
+LINE = 0
+
+
+def make_memory(protocol=True):
+    mesh = MeshNetwork(4, 2)
+    mem = CoherentMemory(MemoryLatencies(), mesh,
+                         migratory_protocol=protocol)
+    invalidated = [[] for _ in range(4)]
+    for i in range(4):
+        mem.invalidate_hooks[i] = invalidated[i].append
+        mem.dirty_hooks[i] = lambda l: True
+    return mem, invalidated
+
+
+def mark_migratory(mem):
+    """Drive the detection pattern: 0 writes, 1 reads+writes."""
+    mem.write(0, LINE, 0)
+    mem.read(1, LINE, 0)
+    mem.write(1, LINE, 0)
+    assert mem.entry(LINE).migratory
+
+
+class TestMigratoryProtocol:
+    def test_read_grants_exclusive_on_migratory_line(self):
+        mem, invalidated = make_memory(protocol=True)
+        mark_migratory(mem)
+        done, svc, excl = mem.read(2, LINE, 1000)
+        assert svc == SVC_DIRTY
+        assert excl
+        entry = mem.entry(LINE)
+        assert entry.state == DIR_EXCLUSIVE
+        assert entry.owner == 2
+        assert LINE in invalidated[1]
+        assert mem.migratory_exclusive_grants == 1
+
+    def test_no_upgrade_needed_after_grant(self):
+        mem, _ = make_memory(protocol=True)
+        mark_migratory(mem)
+        upgrades_before = mem.stats.upgrades
+        mem.read(2, LINE, 1000)
+        mem.write(2, LINE, 1001)   # would be an upgrade without the grant
+        # Owner already exclusive: the write is silent at the directory
+        # (the caller checks _writable), so no new upgrade happened.
+        assert mem.stats.upgrades == upgrades_before
+
+    def test_disabled_protocol_demotes_to_shared(self):
+        mem, _ = make_memory(protocol=False)
+        mark_migratory(mem)
+        done, svc, excl = mem.read(2, LINE, 1000)
+        assert svc == SVC_DIRTY
+        assert not excl
+        assert mem.entry(LINE).state != DIR_EXCLUSIVE
+        assert mem.migratory_exclusive_grants == 0
+
+    def test_non_migratory_line_unaffected(self):
+        mem, _ = make_memory(protocol=True)
+        mem.write(0, LINE, 0)
+        done, svc, excl = mem.read(1, LINE, 100)
+        assert svc == SVC_DIRTY
+        assert not excl  # plain dirty read: demote to shared

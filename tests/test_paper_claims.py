@@ -1,0 +1,103 @@
+"""Compact qualitative checks of the paper's core claims.
+
+These are scaled-down versions of the benchmark assertions (small runs,
+generous slack) so `pytest tests/` alone already guards the headline
+shapes; `benchmarks/` runs the full-size versions.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    ConsistencyImpl,
+    ConsistencyModel,
+    default_system,
+    dss_workload,
+    oltp_workload,
+    run_simulation,
+)
+
+SMALL = dict(instructions=20_000, warmup=60_000)
+
+
+@pytest.fixture(scope="module")
+def oltp_base():
+    return run_simulation(default_system(), oltp_workload(), **SMALL)
+
+
+@pytest.fixture(scope="module")
+def dss_base():
+    return run_simulation(default_system(), dss_workload(), **SMALL)
+
+
+class TestWorkloadContrast:
+    def test_dss_much_higher_ipc(self, oltp_base, dss_base):
+        assert dss_base.ipc > 2 * oltp_base.ipc
+
+    def test_oltp_large_instruction_footprint(self, oltp_base, dss_base):
+        assert oltp_base.miss_rates["l1i"] > 0.01
+        assert dss_base.miss_rates["l1i"] < 0.002
+
+    def test_oltp_has_communication_misses(self, oltp_base, dss_base):
+        assert oltp_base.coherence.reads_dirty > 0
+        oltp_rate = oltp_base.coherence.reads_dirty / \
+            oltp_base.instructions
+        dss_rate = dss_base.coherence.reads_dirty / dss_base.instructions
+        assert oltp_rate > 5 * max(dss_rate, 1e-9)
+
+    def test_idle_factored_out_is_small(self, oltp_base, dss_base):
+        assert oltp_base.idle_fraction < 0.10
+        assert dss_base.idle_fraction < 0.10
+
+
+class TestIlpClaims:
+    def test_ooo_beats_inorder_oltp(self, oltp_base):
+        inorder = default_system().replace(
+            processor=dataclasses.replace(
+                default_system().processor, out_of_order=False,
+                issue_width=1))
+        slow = run_simulation(inorder, oltp_workload(), **SMALL)
+        assert slow.cycles > 1.1 * oltp_base.cycles
+
+    def test_two_mshrs_capture_most_oltp_benefit(self):
+        def run(n):
+            params = default_system()
+            params = params.replace(
+                l1d=dataclasses.replace(params.l1d, mshrs=n),
+                l2=dataclasses.replace(params.l2, mshrs=n))
+            return run_simulation(params, oltp_workload(), **SMALL).cycles
+        one, two, eight = run(1), run(2), run(8)
+        assert two < one
+        assert (two - eight) < (one - two) + 0.01 * one
+
+
+class TestConsistencyClaims:
+    def test_rc_beats_straightforward_sc(self, oltp_base):
+        sc = run_simulation(
+            default_system(consistency=ConsistencyModel.SC),
+            oltp_workload(), **SMALL)
+        assert oltp_base.cycles < sc.cycles
+
+    def test_optimizations_help_sc(self):
+        plain = run_simulation(
+            default_system(consistency=ConsistencyModel.SC),
+            oltp_workload(), **SMALL)
+        optimized = run_simulation(
+            default_system(consistency=ConsistencyModel.SC,
+                           consistency_impl=ConsistencyImpl.SPECULATIVE),
+            oltp_workload(), **SMALL)
+        assert optimized.cycles < plain.cycles
+
+
+class TestOptimizationClaims:
+    def test_stream_buffer_helps_oltp(self, oltp_base):
+        sb = run_simulation(default_system(stream_buffer_entries=2),
+                            oltp_workload(), **SMALL)
+        assert sb.cycles < oltp_base.cycles
+        assert sb.stream_buffer_hit_rate > 0.25
+
+    def test_migratory_sharing_dominates_oltp(self, oltp_base):
+        sharing = oltp_base.sharing()
+        assert sharing.migratory_dirty_read_fraction > 0.4
+        assert sharing.migratory_shared_write_fraction > 0.5

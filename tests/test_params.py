@@ -1,0 +1,151 @@
+"""Tests for the system parameter model (Figure 1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.params import (
+    DEFAULT_SCALE,
+    BranchPredictorParams,
+    CacheParams,
+    ConsistencyImpl,
+    ConsistencyModel,
+    MemoryLatencies,
+    ProcessorParams,
+    SystemParams,
+    TlbParams,
+    default_system,
+    paper_system,
+)
+
+
+class TestCacheParams:
+    def test_figure1_l1_geometry(self):
+        params = paper_system()
+        assert params.l1d.size_bytes == 128 * 1024
+        assert params.l1d.assoc == 2
+        assert params.l1d.line_size == 64
+        assert params.l1d.hit_time == 1
+        assert params.l1d.request_ports == 2
+        assert params.l1i.size_bytes == 128 * 1024
+        assert params.l1i.request_ports == 1
+
+    def test_figure1_l2_geometry(self):
+        params = paper_system()
+        assert params.l2.size_bytes == 8 * 1024 * 1024
+        assert params.l2.assoc == 4
+        assert params.l2.hit_time == 20
+
+    def test_figure1_mshrs(self):
+        params = paper_system()
+        assert params.l1d.mshrs == 8
+        assert params.l2.mshrs == 8
+
+    def test_num_sets(self):
+        cache = CacheParams("X", 8 * 1024, 2, line_size=64)
+        assert cache.num_sets == 64
+        assert cache.num_lines == 128
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheParams("X", 3 * 1024, 2, line_size=64)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheParams("X", 1000, 3, line_size=64)
+
+    def test_scaled_divides_capacity_only(self):
+        cache = CacheParams("X", 128 * 1024, 2)
+        small = cache.scaled(16)
+        assert small.size_bytes == 8 * 1024
+        assert small.assoc == cache.assoc
+        assert small.line_size == cache.line_size
+
+
+class TestProcessorParams:
+    def test_figure1_defaults(self):
+        proc = ProcessorParams()
+        assert proc.issue_width == 4
+        assert proc.window_size == 64
+        assert proc.int_alus == 2
+        assert proc.fp_alus == 2
+        assert proc.addr_gen_units == 2
+        assert proc.max_spec_branches == 8
+        assert proc.mem_queue_size == 32
+        assert proc.out_of_order
+
+    def test_rejects_zero_issue_width(self):
+        with pytest.raises(ValueError):
+            ProcessorParams(issue_width=0)
+
+    def test_rejects_window_smaller_than_issue(self):
+        with pytest.raises(ValueError):
+            ProcessorParams(issue_width=8, window_size=4)
+
+
+class TestBranchPredictorParams:
+    def test_figure1_defaults(self):
+        bp = BranchPredictorParams()
+        assert bp.pa_table_entries == 4096
+        assert bp.pa_history_bits == 12
+        assert bp.global_history_bits == 12
+        assert bp.btb_entries == 512
+        assert bp.btb_assoc == 4
+        assert bp.ras_entries == 32
+        assert not bp.perfect
+
+
+class TestMemoryLatencies:
+    def test_figure1_ranges(self):
+        lat = MemoryLatencies()
+        assert lat.local_read == 100
+        # Remote reads must span the paper's 160-180 cycle range over
+        # 1-3 hops on a 2x2 mesh.
+        assert lat.remote_read_base + lat.remote_read_per_hop >= 160
+        assert lat.remote_read_base + 3 * lat.remote_read_per_hop <= 195
+        # Cache-to-cache: 280-310 cycles.
+        assert lat.cache_to_cache_base + lat.cache_to_cache_per_hop >= 280
+        assert lat.cache_to_cache_base + 3 * lat.cache_to_cache_per_hop <= 315
+
+
+class TestSystemParams:
+    def test_paper_system_has_four_nodes(self):
+        assert paper_system().n_nodes == 4
+
+    def test_default_system_scales_caches(self):
+        small = default_system()
+        big = paper_system()
+        assert small.l1d.size_bytes * DEFAULT_SCALE == big.l1d.size_bytes
+        assert small.l2.size_bytes * DEFAULT_SCALE == big.l2.size_bytes
+        assert small.l1d.assoc == big.l1d.assoc
+        assert small.latencies == big.latencies
+
+    def test_replace_overrides(self):
+        params = default_system(n_nodes=1, mesh_width=1)
+        assert params.n_nodes == 1
+
+    def test_default_consistency_is_rc_straightforward(self):
+        params = default_system()
+        assert params.consistency is ConsistencyModel.RC
+        assert params.consistency_impl is ConsistencyImpl.STRAIGHTFORWARD
+
+    def test_rejects_bad_mesh(self):
+        with pytest.raises(ValueError):
+            SystemParams(n_nodes=3, mesh_width=2)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            SystemParams(n_nodes=0)
+
+    def test_tlb_defaults(self):
+        params = paper_system()
+        assert params.itlb.entries == 128
+        assert params.dtlb.entries == 128
+        assert params.page_size == 8192
+
+    def test_stream_buffer_disabled_by_default(self):
+        assert default_system().stream_buffer_entries == 0
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            default_system().n_nodes = 2

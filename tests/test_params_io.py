@@ -1,0 +1,80 @@
+"""Tests for configuration serialization."""
+
+import io
+
+import pytest
+
+from repro.params import (
+    ConsistencyImpl,
+    ConsistencyModel,
+    default_system,
+    paper_system,
+)
+from repro.params_io import (
+    load_params,
+    params_from_dict,
+    params_to_dict,
+    save_params,
+)
+
+
+class TestRoundTrip:
+    def test_default_system(self):
+        params = default_system()
+        assert params_from_dict(params_to_dict(params)) == params
+
+    def test_paper_system(self):
+        params = paper_system()
+        assert params_from_dict(params_to_dict(params)) == params
+
+    def test_modified_system(self):
+        params = default_system(
+            n_nodes=1, mesh_width=1,
+            consistency=ConsistencyModel.SC,
+            consistency_impl=ConsistencyImpl.SPECULATIVE,
+            stream_buffer_entries=4, perfect_icache=True)
+        restored = params_from_dict(params_to_dict(params))
+        assert restored == params
+        assert restored.consistency is ConsistencyModel.SC
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "config.json")
+        save_params(default_system(), path)
+        assert load_params(path) == default_system()
+
+    def test_stream_roundtrip(self):
+        buf = io.StringIO()
+        save_params(paper_system(), buf)
+        buf.seek(0)
+        assert load_params(buf) == paper_system()
+
+
+class TestValidation:
+    def test_unknown_top_level_key(self):
+        data = params_to_dict(default_system())
+        data["typo_key"] = 1
+        with pytest.raises(ValueError, match="typo_key"):
+            params_from_dict(data)
+
+    def test_unknown_nested_key(self):
+        data = params_to_dict(default_system())
+        data["processor"]["isue_width"] = 4
+        with pytest.raises(ValueError, match="isue_width"):
+            params_from_dict(data)
+
+    def test_enums_stored_by_name(self):
+        data = params_to_dict(default_system())
+        assert data["consistency"] == "RC"
+        assert data["consistency_impl"] == "STRAIGHTFORWARD"
+
+    def test_bad_enum_value(self):
+        data = params_to_dict(default_system())
+        data["consistency"] = "NOT_A_MODEL"
+        with pytest.raises(KeyError):
+            params_from_dict(data)
+
+    def test_geometry_still_validated(self):
+        data = params_to_dict(default_system())
+        data["l1d"]["size_bytes"] = 1000  # not a power-of-two set count
+        with pytest.raises(ValueError):
+            params_from_dict(data)

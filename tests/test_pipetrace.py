@@ -1,0 +1,72 @@
+"""Tests for the pipeline tracer and the SimulationResult dump."""
+
+import itertools
+
+from repro import default_system, oltp_workload, run_simulation
+from repro.stats.pipetrace import PipeTracer
+from repro.system.machine import Machine
+from repro.trace.instr import Instruction, OP_INT, OP_LOAD
+
+CODE = 0x0100_0000
+DATA = 0x2000_0000
+
+
+class TestPipeTracer:
+    def _machine(self):
+        program = [Instruction(OP_LOAD, CODE, addr=DATA)] + \
+            [Instruction(OP_INT, CODE + 4 + 4 * i, deps=(1,))
+             for i in range(20)]
+        return Machine(default_system(n_nodes=1, mesh_width=1),
+                       [itertools.cycle(program)])
+
+    def test_records_cycles(self):
+        m = self._machine()
+        tracer = PipeTracer(m.cores[0], max_cycles=100)
+        m.run(200)
+        assert tracer.lines
+        assert len(tracer.lines) <= 100
+
+    def test_format_has_header_and_legend(self):
+        m = self._machine()
+        tracer = PipeTracer(m.cores[0], max_cycles=50)
+        m.run(100)
+        text = tracer.format()
+        assert "legend" in text
+        assert "retired=" in text
+
+    def test_states_appear(self):
+        m = self._machine()
+        tracer = PipeTracer(m.cores[0], max_cycles=400)
+        m.run(400)
+        text = tracer.format()
+        # Memory waits and completed-awaiting-retire states both occur in
+        # a load-dependent program.
+        assert "M" in text or "q" in text
+        assert "D" in text
+
+    def test_detach_restores_tick(self):
+        m = self._machine()
+        core = m.cores[0]
+        tracer = PipeTracer(core, max_cycles=10)
+        m.run(50)
+        recorded = len(tracer.lines)
+        tracer.detach()
+        m.run(50)
+        assert len(tracer.lines) == recorded
+
+    def test_last_n(self):
+        m = self._machine()
+        tracer = PipeTracer(m.cores[0], max_cycles=100)
+        m.run(200)
+        text = tracer.format(last=5)
+        assert len(text.splitlines()) == 6  # header + 5 rows
+
+
+class TestResultDump:
+    def test_dump_contains_sections(self):
+        result = run_simulation(default_system(), oltp_workload(),
+                                instructions=6000, warmup=6000)
+        text = result.dump()
+        for needle in ("workload", "miss rates", "breakdown",
+                       "Protocol traffic", "sharing", "ipc"):
+            assert needle in text

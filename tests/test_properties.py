@@ -1,0 +1,155 @@
+"""Property-based tests over the simulator's core invariants."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import CacheArray, MshrFile
+from repro.mem.coherence import (
+    DIR_EXCLUSIVE,
+    DIR_INVALID,
+    DIR_SHARED,
+    CoherentMemory,
+)
+from repro.mem.interconnect import MeshNetwork
+from repro.params import CacheParams, MemoryLatencies, default_system
+from repro.system.machine import Machine
+from repro.trace.instr import Instruction, OP_INT, OP_LOAD, OP_STORE
+
+CODE = 0x0100_0000
+DATA = 0x2000_0000
+
+
+@st.composite
+def coherence_ops(draw):
+    """Random sequences of protocol transactions."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["read", "write", "flush", "writeback", "evict"]))
+        node = draw(st.integers(0, 3))
+        line = draw(st.integers(0, 5)) * 128
+        ops.append((kind, node, line))
+    return ops
+
+
+class TestCoherenceInvariants:
+    @given(coherence_ops())
+    @settings(max_examples=120, deadline=None)
+    def test_directory_state_always_consistent(self, ops):
+        mesh = MeshNetwork(4, 2)
+        mem = CoherentMemory(MemoryLatencies(), mesh)
+        now = 0
+        for kind, node, line in ops:
+            now += 50
+            if kind == "read":
+                mem.read(node, line, now)
+            elif kind == "write":
+                mem.write(node, line, now)
+            elif kind == "flush":
+                mem.flush(node, line, now)
+            elif kind == "writeback":
+                mem.writeback(node, line, now)
+            else:
+                mem.evict_clean(node, line)
+            entry = mem.entry(line)
+            if entry.state == DIR_EXCLUSIVE:
+                assert 0 <= entry.owner < 4
+                assert not entry.sharers
+            elif entry.state == DIR_SHARED:
+                assert entry.sharers
+                assert entry.owner == -1
+            else:
+                assert entry.state == DIR_INVALID
+
+    @given(coherence_ops())
+    @settings(max_examples=60, deadline=None)
+    def test_latencies_monotone_nonnegative(self, ops):
+        mesh = MeshNetwork(4, 2)
+        mem = CoherentMemory(MemoryLatencies(), mesh)
+        now = 0
+        for kind, node, line in ops:
+            now += 10
+            if kind == "read":
+                done, _, _ = mem.read(node, line, now)
+                assert done >= now
+            elif kind == "write":
+                done, _ = mem.write(node, line, now)
+                assert done >= now
+
+
+class TestCacheInvariants:
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "inval", "dirty"]),
+                              st.integers(0, 127)), max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_dirty_implies_present(self, ops):
+        cache = CacheArray(CacheParams("T", 4096, 2))
+        for kind, line in ops:
+            if kind == "insert":
+                cache.insert(line)
+            elif kind == "inval":
+                cache.invalidate(line)
+            else:
+                cache.mark_dirty(line)
+            if cache.is_dirty(line):
+                assert cache.lookup(line, touch=False)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_mshr_outstanding_bounded(self, lines):
+        mshrs = MshrFile(4)
+        now = 0
+        for line in lines:
+            now += 1
+            mshrs.expire(now)
+            if mshrs.get(line) is None and not mshrs.full:
+                mshrs.register(line, now, now + 50, True, False)
+            assert mshrs.outstanding() <= 4
+
+
+@st.composite
+def small_programs(draw):
+    """Random short instruction programs (no control flow surprises)."""
+    n = draw(st.integers(min_value=8, max_value=40))
+    program = []
+    for i in range(n):
+        kind = draw(st.sampled_from([OP_INT, OP_LOAD, OP_STORE]))
+        dep = draw(st.integers(0, 4))
+        deps = (dep,) if dep and dep <= i else ()
+        addr = DATA + draw(st.integers(0, 63)) * 64
+        program.append(Instruction(kind, CODE + 4 * i, addr=addr,
+                                   deps=deps))
+    return program
+
+
+class TestMachineInvariants:
+    @given(small_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_all_programs_run_to_completion(self, program):
+        params = default_system(n_nodes=1, mesh_width=1)
+        m = Machine(params, [itertools.cycle(program)])
+        cycles = m.run(600, max_cycles=3_000_000)
+        assert m.total_retired() >= 600
+        assert cycles >= 600 / 4  # bounded by issue width
+
+    @given(small_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, program):
+        def run():
+            params = default_system(n_nodes=1, mesh_width=1)
+            m = Machine(params, [itertools.cycle(
+                [Instruction(i.op, i.pc, addr=i.addr, deps=i.deps)
+                 for i in program])])
+            return m.run(400, max_cycles=3_000_000)
+        assert run() == run()
+
+    @given(small_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_breakdown_conserves_time(self, program):
+        params = default_system(n_nodes=1, mesh_width=1)
+        m = Machine(params, [itertools.cycle(program)])
+        cycles = m.run(500, max_cycles=3_000_000)
+        accounted = sum(m.breakdown().cycles)
+        assert abs(accounted - cycles) <= 2

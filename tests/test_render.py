@@ -1,0 +1,69 @@
+"""Tests for the ASCII figure renderer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.render import (
+    LEGEND,
+    render_bar,
+    render_distribution,
+    render_figure,
+)
+
+
+def shares(cpu=0.2, read=0.5, write=0.1, sync=0.1, instr=0.1):
+    return {"cpu": cpu, "read": read, "write": write, "sync": sync,
+            "instr": instr}
+
+
+class TestRenderBar:
+    def test_length_matches_total(self):
+        bar = render_bar(shares(), width=60)
+        assert len(bar) == 60
+
+    def test_segments_in_order(self):
+        bar = render_bar(shares(), width=60)
+        # C-block before R-block before I-block.
+        assert bar.index("C") < bar.index("R") < bar.index("I")
+
+    def test_empty_components(self):
+        assert render_bar({}, width=40) == ""
+
+    def test_scaled_bar_shorter(self):
+        full = render_bar(shares(), width=60)
+        half = render_bar({k: v / 2 for k, v in shares().items()},
+                          width=60)
+        assert len(half) < len(full)
+
+    @given(st.dictionaries(
+        st.sampled_from(["cpu", "read", "write", "sync", "instr"]),
+        st.floats(min_value=0, max_value=1), max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_length_tracks_sum(self, components):
+        bar = render_bar(components, width=50)
+        expected = round(sum(components.values()) * 50)
+        assert abs(len(bar) - expected) <= len(components)
+
+
+class TestRenderFigure:
+    def test_contains_labels_and_legend(self):
+        text = render_figure([("alpha", 1.0, shares()),
+                              ("beta", 0.5, shares())])
+        assert "alpha" in text and "beta" in text
+        assert LEGEND in text
+
+    def test_normalized_scales_bars(self):
+        text = render_figure([("a", 1.0, shares()),
+                              ("b", 0.5, shares())], width=60)
+        line_a, line_b = text.splitlines()[:2]
+        assert line_a.count("R") > line_b.count("R")
+
+
+class TestRenderDistribution:
+    def test_histogram_rows(self):
+        text = render_distribution({1: 1.0, 2: 0.5, 3: 0.0},
+                                   title="L1D")
+        assert "L1D" in text
+        lines = text.splitlines()
+        assert ">=1" in lines[1] and ">=3" in lines[3]
+        assert lines[1].count("#") > lines[2].count("#")

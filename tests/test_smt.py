@@ -1,0 +1,112 @@
+"""Tests for the SMT core (section 5 extension)."""
+
+import dataclasses
+import itertools
+
+import pytest
+
+from repro.params import default_system
+from repro.system.machine import Machine
+from repro.trace.instr import Instruction, OP_INT, OP_LOAD, OP_SYSCALL
+
+CODE = 0x0100_0000
+DATA = 0x2000_0000
+
+
+def smt_params(contexts=4, **kw):
+    base = default_system(n_nodes=1, mesh_width=1, **kw)
+    return base.replace(processor=dataclasses.replace(
+        base.processor, smt_contexts=contexts))
+
+
+def alu_stream(stride=0):
+    return itertools.cycle([Instruction(OP_INT, CODE + stride + 4 * i)
+                            for i in range(64)])
+
+
+def missing_stream(pid):
+    """Dependent loads over an L2-resident, L1-overflowing loop: every
+    load misses L1 and exposes the 20-cycle L2 latency serially."""
+    base = DATA + pid * (1 << 24)
+    program = []
+    for i in range(512):  # 32KB loop vs the 8KB scaled L1D
+        program.append(Instruction(OP_LOAD, CODE + (i % 64) * 8,
+                                   addr=base + i * 64,
+                                   deps=(2,) if i else ()))
+        program.append(Instruction(OP_INT, CODE + (i % 64) * 8 + 4,
+                                   deps=(1,)))
+    return itertools.cycle(program)
+
+
+class TestSmtCore:
+    def test_all_contexts_host_processes(self):
+        m = Machine(smt_params(4), [alu_stream(i * 512) for i in range(4)])
+        m.run(2000)
+        core = m.cores[0]
+        assert core.free_slots() == 0
+        assert all(ctx.process is not None for ctx in core.contexts)
+
+    def test_aggregate_retirement(self):
+        m = Machine(smt_params(2), [alu_stream(), alu_stream(512)])
+        m.run(3000)
+        core = m.cores[0]
+        assert core.retired >= 3000
+        assert all(ctx.retired > 0 for ctx in core.contexts)
+
+    def test_shared_issue_width_bounds_throughput(self):
+        m = Machine(smt_params(4), [alu_stream(i * 512) for i in range(4)])
+        cycles = m.run(8000)
+        assert 8000 / cycles <= 4.0 + 1e-9  # machine width still 4
+
+    def test_smt_hides_memory_stalls(self):
+        """Four stall-heavy threads on one SMT core beat the same four
+        threads time-sliced on a single-context core."""
+        single = Machine(default_system(n_nodes=1, mesh_width=1),
+                         [missing_stream(i) for i in range(4)])
+        smt = Machine(smt_params(4), [missing_stream(i) for i in range(4)])
+        t_single = single.run(12_000)
+        t_smt = smt.run(12_000)
+        assert t_smt < t_single
+
+    def test_syscall_blocks_only_one_context(self):
+        blocking = itertools.cycle(
+            [Instruction(OP_INT, CODE + 4 * i) for i in range(20)]
+            + [Instruction(OP_SYSCALL, CODE + 200)])
+        m = Machine(smt_params(2), [blocking, alu_stream(512)])
+        # Long enough to span several 8000-cycle I/O waits.
+        m.run(150_000)
+        core = m.cores[0]
+        # The pure-ALU thread keeps running while the other blocks, and
+        # the blocking thread resumes after each wait.
+        assert all(ctx.retired > 40 for ctx in core.contexts)
+        assert m.processes[0].syscalls >= 2
+
+    def test_more_processes_than_contexts(self):
+        blocking = lambda: itertools.cycle(
+            [Instruction(OP_INT, CODE + 4 * i) for i in range(40)]
+            + [Instruction(OP_SYSCALL, CODE + 400)])
+        m = Machine(smt_params(2), [blocking() for _ in range(5)])
+        m.run(10_000)
+        assert sum(p.syscalls for p in m.processes) > 5
+        assert m.total_retired() >= 10_000
+
+    def test_stats_merged(self):
+        m = Machine(smt_params(2), [alu_stream(), alu_stream(512)])
+        m.run(2000)
+        bd = m.breakdown()
+        assert bd.instructions >= 2000
+
+    def test_reset_stats(self):
+        m = Machine(smt_params(2), [alu_stream(), alu_stream(512)])
+        m.run(1000)
+        m.reset_stats()
+        assert m.breakdown().total == 0
+        m.run(500)
+        assert m.breakdown().total > 0
+
+    def test_window_partitioned(self):
+        params = smt_params(4)
+        m = Machine(params, [alu_stream(i * 512) for i in range(4)])
+        core = m.cores[0]
+        per_context = core.contexts[0].proc.window_size
+        assert per_context == params.processor.window_size // 4

@@ -1,0 +1,100 @@
+"""Tests for the instruction stream buffer (paper section 4.1)."""
+
+from repro.mem.streambuf import InstructionStreamBuffer
+
+
+class FakeFetcher:
+    """Records prefetches; each completes 20 cycles after issue."""
+
+    def __init__(self, latency=20):
+        self.latency = latency
+        self.fetched = []
+
+    def __call__(self, line, now):
+        self.fetched.append((line, now))
+        return now + self.latency
+
+
+class TestStreamBuffer:
+    def test_disabled_buffer_never_hits(self):
+        sb = InstructionStreamBuffer(0, FakeFetcher())
+        assert not sb.enabled
+        assert sb.probe(10, 0) is None
+        assert sb.misses == 0  # disabled: not even counted
+
+    def test_miss_starts_stream(self):
+        fetcher = FakeFetcher()
+        sb = InstructionStreamBuffer(4, fetcher)
+        assert sb.probe(100, 0) is None
+        # Launches up to max_issue_per_probe prefetches immediately;
+        # deeper entries fill on later probes.
+        assert [line for line, _ in fetcher.fetched] == [101, 102]
+        sb.probe(101, 50)
+        assert [line for line, _ in fetcher.fetched][-2:] == [103, 104]
+
+    def test_sequential_miss_hits_buffer(self):
+        fetcher = FakeFetcher()
+        sb = InstructionStreamBuffer(4, fetcher)
+        sb.probe(100, 0)
+        ready = sb.probe(101, 50)
+        assert ready is not None
+        assert ready >= 50
+        assert sb.hits == 1
+
+    def test_hit_waits_for_inflight_prefetch(self):
+        fetcher = FakeFetcher(latency=20)
+        sb = InstructionStreamBuffer(2, fetcher)
+        sb.probe(100, 0)              # prefetches 101 (ready ~21), 102
+        ready = sb.probe(101, 5)      # probe before the prefetch lands
+        assert ready > 20             # waits for arrival + transfer
+
+    def test_hit_consumes_entries_and_tops_up(self):
+        fetcher = FakeFetcher()
+        sb = InstructionStreamBuffer(2, fetcher)
+        sb.probe(100, 0)              # buffer: 101, 102
+        sb.probe(101, 100)            # consume 101; top up with 103
+        lines = [line for line, _ in fetcher.fetched]
+        assert lines == [101, 102, 103]
+
+    def test_skip_ahead_within_buffer(self):
+        fetcher = FakeFetcher()
+        sb = InstructionStreamBuffer(4, fetcher)
+        sb.probe(100, 0)              # buffer: 101, 102 (paced fill)
+        sb.probe(101, 50)             # consume 101; buffer: 102, 103, 104
+        ready = sb.probe(103, 100)    # hits deeper entry; drops 102
+        assert ready is not None
+        # 104 still buffered; top-up continues past it.
+        assert fetcher.fetched[-1][0] >= 105
+
+    def test_non_sequential_miss_flushes(self):
+        fetcher = FakeFetcher()
+        sb = InstructionStreamBuffer(4, fetcher)
+        sb.probe(100, 0)
+        assert sb.probe(500, 100) is None
+        assert sb.flushes == 1
+        # New stream starts at 501.
+        assert fetcher.fetched[-2][0] == 501
+
+    def test_invalidate_removes_entry(self):
+        fetcher = FakeFetcher()
+        sb = InstructionStreamBuffer(4, fetcher)
+        sb.probe(100, 0)
+        sb.invalidate(101)
+        assert sb.probe(101, 100) is None  # no longer buffered
+
+    def test_hit_rate(self):
+        fetcher = FakeFetcher()
+        sb = InstructionStreamBuffer(4, fetcher)
+        sb.probe(100, 0)
+        sb.probe(101, 100)
+        sb.probe(102, 200)
+        assert sb.hit_rate == 2 / 3
+
+    def test_prefetch_count_grows_with_buffer_size(self):
+        f2, f8 = FakeFetcher(), FakeFetcher()
+        sb2 = InstructionStreamBuffer(2, f2)
+        sb8 = InstructionStreamBuffer(8, f8)
+        for t, line in ((0, 100), (50, 101), (100, 102), (150, 103)):
+            sb2.probe(line, t)
+            sb8.probe(line, t)
+        assert len(f8.fetched) > len(f2.fetched)

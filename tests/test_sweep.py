@@ -1,0 +1,50 @@
+"""Tests for the seed-sweep utilities."""
+
+import pytest
+
+from repro.core.sweep import Comparison, SweepResult, compare, seed_sweep
+from repro.core.workloads import oltp_workload
+from repro.params import default_system
+
+
+class TestSweepResult:
+    def test_mean_and_spread(self):
+        r = SweepResult("x", [90, 100, 110])
+        assert r.mean == 100
+        assert r.spread == pytest.approx(0.1)
+
+    def test_formatting(self):
+        assert "x" in str(SweepResult("x", [100]))
+
+
+class TestComparison:
+    def test_consistent_win(self):
+        c = Comparison(SweepResult("a", [100, 102, 98]),
+                       SweepResult("b", [80, 85, 79]))
+        assert c.consistent
+        assert c.mean_ratio < 1
+
+    def test_seed_dependent(self):
+        c = Comparison(SweepResult("a", [100, 100]),
+                       SweepResult("b", [90, 110]))
+        assert not c.consistent
+
+
+class TestLiveSweep:
+    def test_seed_sweep_runs(self):
+        result = seed_sweep(default_system(), oltp_workload,
+                            instructions=4000, warmup=4000,
+                            seeds=(0, 1), label="base")
+        assert len(result.cycles) == 2
+        assert all(c > 0 for c in result.cycles)
+
+    def test_compare_window_sizes(self):
+        import dataclasses
+        base = default_system()
+        small = base.replace(processor=dataclasses.replace(
+            base.processor, window_size=16))
+        comparison = compare(small, base, oltp_workload,
+                             instructions=6000, warmup=8000,
+                             seeds=(0, 1), labels=("win16", "win64"))
+        # The 64-entry window beats 16 on every seed.
+        assert comparison.mean_ratio < 1.0

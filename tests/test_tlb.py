@@ -1,0 +1,88 @@
+"""Tests for the page table (bin-hopping) and TLBs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.tlb import PageTable, Tlb
+from repro.params import TlbParams
+
+
+class TestPageTable:
+    def test_frames_assigned_round_robin(self):
+        pt = PageTable(page_size=8192, n_nodes=4)
+        frames = [pt.frame_of(vpage) for vpage in (100, 7, 42, 9)]
+        assert frames == [0, 1, 2, 3]
+
+    def test_translation_is_stable(self):
+        pt = PageTable()
+        assert pt.frame_of(123) == pt.frame_of(123)
+
+    def test_home_node_interleaves(self):
+        pt = PageTable(n_nodes=4)
+        homes = {pt.home_node(pt.frame_of(v)) for v in range(8)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_translate_line_preserves_page_offset(self):
+        pt = PageTable(page_size=8192)
+        vaddr = (5 << 13) | (3 << 6)  # page 5, line 3 within page
+        line = pt.translate_line(vaddr)
+        assert line % 128 == 3
+
+    def test_same_line_same_translation(self):
+        pt = PageTable()
+        assert pt.translate_line(0x10008) == pt.translate_line(0x10010)
+
+    def test_different_pages_different_frames(self):
+        pt = PageTable()
+        l1 = pt.translate_line(0 << 13)
+        l2 = pt.translate_line(1 << 13)
+        assert l1 // 128 != l2 // 128
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 30), min_size=1))
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_pages_get_distinct_frames(self, vaddrs):
+        pt = PageTable()
+        frames = {}
+        for vaddr in vaddrs:
+            vpage = vaddr >> 13
+            frame = pt.frame_of(vpage)
+            if vpage in frames:
+                assert frames[vpage] == frame
+            frames[vpage] = frame
+        assert len(set(frames.values())) == len(frames)
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(TlbParams(entries=4))
+        assert not tlb.access(1)
+        assert tlb.access(1)
+        assert tlb.misses == 1 and tlb.hits == 1
+
+    def test_lru_replacement(self):
+        tlb = Tlb(TlbParams(entries=2))
+        tlb.access(1)
+        tlb.access(2)
+        tlb.access(1)          # 1 refreshed; 2 is LRU
+        tlb.access(3)          # evicts 2
+        assert tlb.access(1)
+        assert not tlb.access(2)
+
+    def test_capacity(self):
+        tlb = Tlb(TlbParams(entries=128))
+        for vpage in range(128):
+            tlb.access(vpage)
+        hits = sum(tlb.access(v) for v in range(128))
+        assert hits == 128
+
+    def test_perfect_mode(self):
+        tlb = Tlb(TlbParams(entries=1, perfect=True))
+        assert tlb.access(1)
+        assert tlb.access(99999)
+        assert tlb.misses == 0
+
+    def test_miss_rate(self):
+        tlb = Tlb(TlbParams(entries=8))
+        tlb.access(1)
+        tlb.access(1)
+        assert tlb.miss_rate == 0.5

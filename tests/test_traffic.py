@@ -1,0 +1,58 @@
+"""Tests for the protocol-traffic profile."""
+
+import pytest
+
+from repro.mem.coherence import CoherenceStats
+from repro.stats.traffic import TrafficReport, traffic_report
+
+
+def make_stats(**kw):
+    stats = CoherenceStats()
+    for key, value in kw.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestTrafficReport:
+    def test_rates_per_thousand(self):
+        stats = make_stats(reads_local=10, reads_remote=20, reads_dirty=10,
+                           writes_local=5, writes_remote=5, writes_dirty=0,
+                           upgrades=4, invalidations_sent=8,
+                           writebacks=2, flushes=1)
+        report = traffic_report(stats, instructions=10_000,
+                                network_messages=100)
+        assert report.reads == pytest.approx(4.0)
+        assert report.writes == pytest.approx(1.0)
+        assert report.upgrades == pytest.approx(0.4)
+        assert report.invalidations == pytest.approx(0.8)
+        assert report.network_messages == pytest.approx(10.0)
+
+    def test_communication_fraction(self):
+        stats = make_stats(reads_local=30, reads_remote=30, reads_dirty=40)
+        report = traffic_report(stats, instructions=1000)
+        assert report.communication_fraction == pytest.approx(0.4)
+
+    def test_empty_stats(self):
+        report = traffic_report(CoherenceStats(), instructions=1000)
+        assert report.reads == 0
+        assert report.communication_fraction == 0.0
+
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(ValueError):
+            traffic_report(CoherenceStats(), instructions=0)
+
+    def test_format_contains_all_keys(self):
+        report = traffic_report(CoherenceStats(), instructions=1000)
+        text = report.format()
+        for key in report.as_dict():
+            assert key in text
+
+    def test_live_run_profile(self):
+        from repro import default_system, oltp_workload, run_simulation
+        result = run_simulation(default_system(), oltp_workload(),
+                                instructions=8000, warmup=8000)
+        report = traffic_report(result.coherence, result.instructions)
+        # OLTP communicates: dirty transfers and invalidations occur.
+        assert report.dirty_transfers > 0
+        assert report.invalidations > 0
+        assert 0 < report.communication_fraction < 1

@@ -1,0 +1,35 @@
+"""Tests for the section-2.3-style validation checks."""
+
+import pytest
+
+from repro.core.validation import (
+    check_determinism,
+    check_lock_correctness,
+    check_scaling,
+    check_stall_accounting,
+    run_all,
+)
+
+
+class TestValidationChecks:
+    def test_determinism(self):
+        result = check_determinism(instructions=6000)
+        assert result.passed, result.detail
+
+    def test_scaling(self):
+        result = check_scaling(instructions=16_000)
+        assert result.passed, result.detail
+
+    def test_lock_correctness(self):
+        result = check_lock_correctness(instructions=20_000)
+        assert result.passed, result.detail
+
+    def test_stall_accounting(self):
+        result = check_stall_accounting(instructions=8000)
+        assert result.passed, result.detail
+
+    def test_result_formatting(self):
+        result = check_determinism(instructions=3000)
+        text = str(result)
+        assert "determinism" in text
+        assert "PASS" in text or "FAIL" in text
