@@ -1,0 +1,86 @@
+"""Runner scaling: serial vs parallel fan-out vs warm result cache.
+
+Runs a small OLTP configuration sweep three ways -- serially with a cold
+cache, through the process pool (``REPRO_BENCH_JOBS`` workers), and
+serially again with the now-warm cache -- and records the wall times in
+``BENCH_runner.json`` at the repo root so the perf trajectory of the
+experiment harness itself is tracked across PRs.
+
+Checked invariants: all three paths return bit-identical results, and
+the warm-cache rerun is at least 5x faster than the cold serial run.
+Parallel speedup is recorded but not asserted (CI boxes may have one
+core, where the pool only adds overhead).
+"""
+
+import dataclasses
+import json
+import multiprocessing
+import os
+from pathlib import Path
+
+from conftest import BENCH_JOBS
+
+from repro.params import default_system
+from repro.run import MODEL_VERSION, JobSpec, ResultCache, WorkloadSpec, \
+    run_many
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+
+
+def _sweep_specs(instructions=6000, warmup=6000):
+    """A small but representative sweep: window sizes x two seeds."""
+    base = default_system()
+    specs = []
+    for window in (16, 32, 64):
+        params = base.replace(processor=dataclasses.replace(
+            base.processor, window_size=window))
+        for seed in (0, 1):
+            specs.append(JobSpec(params, WorkloadSpec("oltp"),
+                                 instructions=instructions,
+                                 warmup=warmup, seed=seed))
+    return specs
+
+
+def test_runner_scaling(tmp_path):
+    specs = _sweep_specs()
+    cache = ResultCache(tmp_path / "cache")
+    jobs = BENCH_JOBS if BENCH_JOBS > 1 else \
+        max(2, multiprocessing.cpu_count())
+
+    cold = run_many(specs, jobs=1, cache=cache)
+    parallel = run_many(specs, jobs=jobs, cache=None)
+    warm = run_many(specs, jobs=1, cache=cache)
+
+    # All three paths must agree bit-for-bit.
+    for other in (parallel, warm):
+        assert [r.cycles for r in other.results] == \
+            [r.cycles for r in cold.results]
+        assert [r.breakdown.cycles for r in other.results] == \
+            [r.breakdown.cycles for r in cold.results]
+    assert cold.cache_misses == len(specs)
+    assert warm.cache_hits == len(specs)
+
+    warm_speedup = cold.wall_time / max(warm.wall_time, 1e-9)
+    parallel_speedup = cold.wall_time / max(parallel.wall_time, 1e-9)
+    record = {
+        "model_version": MODEL_VERSION,
+        "sweep_jobs": len(specs),
+        "instructions_per_job": specs[0].instructions
+        + specs[0].warmup,
+        "pool_workers": parallel.jobs,
+        "fell_back_to_serial": parallel.fell_back_to_serial,
+        "serial_cold_s": round(cold.wall_time, 3),
+        "parallel_s": round(parallel.wall_time, 3),
+        "warm_cache_s": round(warm.wall_time, 3),
+        "parallel_speedup": round(parallel_speedup, 2),
+        "warm_cache_speedup": round(warm_speedup, 2),
+        "serial_throughput_instr_per_s": round(cold.throughput),
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nserial {cold.wall_time:.2f}s | "
+          f"parallel({parallel.jobs}) {parallel.wall_time:.2f}s "
+          f"({parallel_speedup:.2f}x) | "
+          f"warm cache {warm.wall_time:.3f}s ({warm_speedup:.0f}x)")
+
+    assert warm_speedup >= 5.0, (
+        f"warm cache rerun only {warm_speedup:.1f}x faster than cold")

@@ -1,16 +1,27 @@
 """Shared benchmark configuration.
 
 Each benchmark regenerates one of the paper's tables/figures and prints
-the rows the paper reports.  Run sizes can be adjusted with environment
-variables for quicker smoke runs:
+the rows the paper reports.  Warmup deliberately *exceeds* measurement
+for both workloads (e.g. 220K warmup vs 60K measured for OLTP): the
+scaled caches, directory and predictors need the long warmup to reach
+steady state, and only then are the short measured statistics stable
+enough for the paper's shape checks.  Run sizes can be adjusted with
+environment variables for quicker smoke runs:
 
     REPRO_BENCH_OLTP_INSTR / REPRO_BENCH_OLTP_WARMUP
     REPRO_BENCH_DSS_INSTR  / REPRO_BENCH_DSS_WARMUP
+
+``REPRO_BENCH_JOBS`` sets the worker-process count of the experiment
+runner (``repro.run``): every figure sweep in the suite then fans its
+independent simulations out over that many processes.  The default of 1
+keeps the historical serial behaviour.
 """
 
 import os
 
 import pytest
+
+import repro.run
 
 
 def _env(name, default):
@@ -25,6 +36,11 @@ BENCH_SIZES = {
     "dss": (_env("REPRO_BENCH_DSS_INSTR", 40_000),
             _env("REPRO_BENCH_DSS_WARMUP", 200_000)),
 }
+
+#: Worker processes for independent simulations (1 = serial).
+BENCH_JOBS = _env("REPRO_BENCH_JOBS", 1)
+
+repro.run.configure(jobs=BENCH_JOBS)
 
 
 @pytest.fixture

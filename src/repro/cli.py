@@ -8,6 +8,17 @@ Usage::
 
 ``--quick`` runs small simulations (~seconds each) for smoke testing;
 the defaults match the benchmark harness.
+
+Runner options (accepted before or after the subcommand):
+
+``--jobs N``
+    Fan independent simulations out over ``N`` worker processes
+    (default: the ``REPRO_JOBS`` environment variable, else 1).
+``--no-cache``
+    Disable the persistent result cache.  By default completed runs are
+    memoized under ``.repro-cache/`` (override with ``REPRO_CACHE_DIR``)
+    keyed by a content hash of the full configuration, so repeating a
+    report is near-instant; ``repro report`` prints a cache-stats line.
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ import argparse
 import sys
 from typing import Optional
 
+import repro.run as run
 from repro.core import figures as F
 from repro.stats.render import render_figure
 
@@ -91,26 +103,50 @@ def cmd_report(quick: bool) -> None:
                             ("6", "oltp"), ("6", "dss"),
                             ("7a", None), ("7b", None)):
         cmd_figure(which, workload, quick)
+    cache = run.shared_cache()
+    if cache is not None:
+        print(cache.format_stats())
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    # Shared options use default=None / SUPPRESS so a flag given before
+    # the subcommand is not clobbered by the subparser's defaults.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--quick", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="small simulations for smoke testing")
+    common.add_argument("--jobs", type=int, default=argparse.SUPPRESS,
+                        metavar="N",
+                        help="worker processes for independent runs "
+                             "(default: $REPRO_JOBS or 1)")
+    common.add_argument("--no-cache", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="disable the persistent result cache")
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     parents=[common])
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("characterize", parents=[common])
+    fig = sub.add_parser("figure", parents=[common])
+    fig.add_argument("which")
+    fig.add_argument("workload", nargs="?", choices=["oltp", "dss"])
+    sub.add_parser("report", parents=[common])
+    sub.add_parser("validate", parents=[common])
+    return parser
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
-    parser.add_argument("--quick", action="store_true")
-    sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("characterize")
-    fig = sub.add_parser("figure")
-    fig.add_argument("which")
-    fig.add_argument("workload", nargs="?", choices=["oltp", "dss"])
-    sub.add_parser("report")
-    sub.add_parser("validate")
-    args = parser.parse_args(argv)
+    args = _build_parser().parse_args(argv)
+    quick = getattr(args, "quick", False)
+    no_cache = getattr(args, "no_cache", False)
+    run.configure(jobs=getattr(args, "jobs", None) or run.default_jobs(),
+                  use_cache=not no_cache)
 
     if args.command == "characterize":
-        cmd_characterize(args.quick)
+        cmd_characterize(quick)
     elif args.command == "figure":
-        cmd_figure(args.which, args.workload, args.quick)
+        cmd_figure(args.which, args.workload, quick)
     elif args.command == "report":
-        cmd_report(args.quick)
+        cmd_report(quick)
     elif args.command == "validate":
         from repro.core.validation import run_all
         results = run_all(verbose=True)

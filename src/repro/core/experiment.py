@@ -60,6 +60,55 @@ class SimulationResult:
     def normalized_to(self, base: "SimulationResult") -> float:
         return self.execution_time / base.execution_time
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the full result.
+
+        The encoding is exact (raw counters and cycle lists, no derived
+        ratios), so ``from_dict(to_dict(r))`` reproduces every figure
+        table byte-for-byte.  This is what the result cache stores and
+        what worker processes ship back to the parent.
+        """
+        from repro.params_io import params_to_dict
+        return {
+            "params": params_to_dict(self.params),
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "breakdown": self.breakdown.to_dict(),
+            "miss_rates": dict(self.miss_rates),
+            "misprediction_rate": self.misprediction_rate,
+            "coherence": self.coherence.to_dict(),
+            "l1d_mshr": self.l1d_mshr.to_dict(),
+            "l2_mshr": self.l2_mshr.to_dict(),
+            "stream_buffer_hit_rate": self.stream_buffer_hit_rate,
+            "idle_fraction": self.idle_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        from repro.params_io import params_from_dict
+        # Canonical level order: JSON encoders may sort keys, and dump()
+        # prints miss rates in insertion order.
+        raw_rates = data["miss_rates"]
+        miss_rates = {k: raw_rates[k] for k in ("l1i", "l1d", "l2")
+                      if k in raw_rates}
+        miss_rates.update((k, v) for k, v in raw_rates.items()
+                          if k not in miss_rates)
+        return cls(
+            params=params_from_dict(data["params"]),
+            workload=data["workload"],
+            cycles=int(data["cycles"]),
+            instructions=int(data["instructions"]),
+            breakdown=ExecutionBreakdown.from_dict(data["breakdown"]),
+            miss_rates=miss_rates,
+            misprediction_rate=float(data["misprediction_rate"]),
+            coherence=CoherenceStats.from_dict(data["coherence"]),
+            l1d_mshr=MshrOccupancyGroup.from_dict(data["l1d_mshr"]),
+            l2_mshr=MshrOccupancyGroup.from_dict(data["l2_mshr"]),
+            stream_buffer_hit_rate=float(data["stream_buffer_hit_rate"]),
+            idle_fraction=float(data["idle_fraction"]),
+        )
+
     def dump(self) -> str:
         """Full text report of the run (stats-file style)."""
         from repro.stats.traffic import traffic_report

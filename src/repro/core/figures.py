@@ -17,9 +17,9 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.experiment import SimulationResult, run_simulation
+from repro.core.experiment import SimulationResult
 from repro.core.optimizations import migratory_hints
-from repro.core.workloads import Workload, dss_workload, oltp_workload
+from repro.run import JobSpec, WorkloadSpec, run_many
 from repro.params import (
     ConsistencyImpl,
     ConsistencyModel,
@@ -76,32 +76,45 @@ class FigureResult:
         return "\n".join(lines)
 
 
-def _workload(name: str, **kw) -> Workload:
-    if name == "oltp":
-        return oltp_workload(**kw)
-    if name == "dss":
-        return dss_workload(**kw)
-    raise ValueError(f"unknown workload {name!r}")
-
-
 def _sizes(name: str, instructions: Optional[int],
            warmup: Optional[int]) -> Tuple[int, int]:
     default_i, default_w = RUN_SIZES[name]
     return instructions or default_i, warmup or default_w
 
 
+def _workload_spec(name: str, workload_kw: Optional[dict] = None
+                   ) -> WorkloadSpec:
+    """Declarative spec for workload ``name`` built with ``workload_kw``."""
+    kw = dict(workload_kw or {})
+    hints = kw.pop("hints", None)
+    unsupported = set(kw) - {"scale", "processes_per_cpu"}
+    if unsupported:
+        raise ValueError(
+            f"workload kwargs not expressible as a WorkloadSpec: "
+            f"{sorted(unsupported)}")
+    return WorkloadSpec.from_hints(name, hints=hints, **kw)
+
+
 def _sweep(configs: List[Tuple[str, SystemParams]], workload_name: str,
            figure_id: str, title: str, instructions: Optional[int],
            warmup: Optional[int], seed: int = 0,
            workload_kw: Optional[dict] = None) -> FigureResult:
-    """Run one workload across configurations; normalize to the first."""
+    """Run one workload across configurations; normalize to the first.
+
+    Runs go through :func:`repro.run.run_many`, so they fan out across
+    worker processes and hit the persistent result cache when the
+    process-wide runner is configured that way (``repro.run.configure``);
+    result order -- and therefore normalization -- is identical to the
+    old serial loop.
+    """
     instructions, warmup = _sizes(workload_name, instructions, warmup)
+    wspec = _workload_spec(workload_name, workload_kw)
+    specs = [JobSpec(params, wspec, instructions=instructions,
+                     warmup=warmup, seed=seed) for _label, params in configs]
+    report = run_many(specs)
     out = FigureResult(figure_id, title)
     base_time = None
-    for label, params in configs:
-        workload = _workload(workload_name, **(workload_kw or {}))
-        result = run_simulation(params, workload, instructions=instructions,
-                                warmup=warmup, seed=seed)
+    for (label, _params), result in zip(configs, report.results):
         if base_time is None:
             base_time = result.execution_time
         out.rows.append(FigureRow(label, result,
@@ -227,13 +240,14 @@ def figure5(workload_name: str, instructions: int = None,
     # paper's UP-vs-MP comparison is of steady-state component shares,
     # and the instruction-share claim only emerges once the code is
     # fully L2-resident on every node.
-    for label, params, scale in (("uniprocessor", up, 0.25),
-                                 ("multiprocessor", mp, 1.0)):
-        workload = _workload(workload_name)
-        result = run_simulation(
-            params, workload,
-            instructions=max(2000, int(instructions * scale)),
-            warmup=max(2000, int(5 * warmup * scale)), seed=seed)
+    labelled = (("uniprocessor", up, 0.25), ("multiprocessor", mp, 1.0))
+    wspec = _workload_spec(workload_name)
+    specs = [JobSpec(params, wspec,
+                     instructions=max(2000, int(instructions * scale)),
+                     warmup=max(2000, int(5 * warmup * scale)), seed=seed)
+             for _label, params, scale in labelled]
+    report = run_many(specs)
+    for (label, _params, _scale), result in zip(labelled, report.results):
         out.rows.append(FigureRow(label, result, 1.0))
     return out
 
@@ -303,11 +317,12 @@ def figure7b(instructions: int = None, warmup: int = None,
         ("flush+prefetch", base,
          migratory_hints(prefetch=True, flush=True)),
     ]
+    specs = [JobSpec(params, WorkloadSpec.from_hints("oltp", hints=hints),
+                     instructions=instructions, warmup=warmup, seed=seed)
+             for _label, params, hints in variants]
+    report = run_many(specs)
     base_time = None
-    for label, params, hints in variants:
-        workload = oltp_workload(hints=hints)
-        result = run_simulation(params, workload, instructions=instructions,
-                                warmup=warmup, seed=seed)
+    for (label, _params, _hints), result in zip(variants, report.results):
         if base_time is None:
             base_time = result.execution_time
         out.rows.append(FigureRow(label, result,
@@ -324,11 +339,15 @@ def characterization_table(instructions: int = None, warmup: int = None,
     """The paper's in-text characterization: miss rates, IPC, branch
     misprediction, and migratory sharing statistics for both workloads."""
     out = {}
-    for name in ("oltp", "dss"):
+    names = ("oltp", "dss")
+    specs = []
+    for name in names:
         n_instr, n_warm = _sizes(name, instructions, warmup)
-        result = run_simulation(default_system(), _workload(name),
-                                instructions=n_instr, warmup=n_warm,
-                                seed=seed)
+        specs.append(JobSpec(default_system(), _workload_spec(name),
+                             instructions=n_instr, warmup=n_warm,
+                             seed=seed))
+    report = run_many(specs)
+    for name, result in zip(names, report.results):
         sharing = sharing_characterization(result.coherence)
         out[name] = {
             "ipc": result.ipc,

@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.core.experiment import run_simulation
 from repro.core.workloads import Workload
 from repro.params import SystemParams
+from repro.run import JobSpec, WorkloadSpec, run_many
 
 
 @dataclass
@@ -45,8 +46,23 @@ def seed_sweep(params: SystemParams,
                make_workload: Callable[[], Workload],
                instructions: int, warmup: int,
                seeds: Sequence[int] = (0, 1, 2),
-               label: str = "config") -> SweepResult:
-    """Run one configuration across ``seeds``."""
+               label: str = "config",
+               jobs: Optional[int] = None) -> SweepResult:
+    """Run one configuration across ``seeds``.
+
+    When ``make_workload`` is one of the standard factories
+    (``oltp_workload`` / ``dss_workload`` / ``tpcc_workload``), the seeds
+    are dispatched through :func:`repro.run.run_many`, gaining process
+    fan-out (``jobs`` workers, or the configured default) and result
+    caching.  Arbitrary factories cannot be fingerprinted or shipped to a
+    worker, so they fall back to the in-process serial loop.
+    """
+    wspec = WorkloadSpec.from_factory(make_workload)
+    if wspec is not None:
+        specs = [JobSpec(params, wspec, instructions=instructions,
+                         warmup=warmup, seed=seed) for seed in seeds]
+        report = run_many(specs, jobs=jobs)
+        return SweepResult(label, [r.cycles for r in report.results])
     cycles = []
     for seed in seeds:
         result = run_simulation(params, make_workload(),
@@ -85,11 +101,12 @@ def compare(params_a: SystemParams, params_b: SystemParams,
             make_workload: Callable[[], Workload],
             instructions: int, warmup: int,
             seeds: Sequence[int] = (0, 1, 2),
-            labels: Optional[Sequence[str]] = None) -> Comparison:
+            labels: Optional[Sequence[str]] = None,
+            jobs: Optional[int] = None) -> Comparison:
     """Seed-paired comparison of two configurations."""
     label_a, label_b = labels or ("A", "B")
     return Comparison(
         seed_sweep(params_a, make_workload, instructions, warmup,
-                   seeds, label_a),
+                   seeds, label_a, jobs=jobs),
         seed_sweep(params_b, make_workload, instructions, warmup,
-                   seeds, label_b))
+                   seeds, label_b, jobs=jobs))

@@ -81,7 +81,15 @@ _CAT_TO_READ = {
     CAT_REMOTE: READ_REMOTE, CAT_DIRTY: READ_DIRTY, CAT_DTLB: READ_DTLB,
 }
 
-_MEMQ_OPS = (OP_LOAD, OP_STORE, OP_LOCK_ACQ, OP_LOCK_REL)
+# Hot-loop op-class sets/maps (frozenset membership and one dict lookup
+# beat tuple scans in the dispatch/issue/retire paths).
+_MEMQ_OPS = frozenset((OP_LOAD, OP_STORE, OP_LOCK_ACQ, OP_LOCK_REL))
+_ORDERING_OPS = frozenset((OP_MB, OP_WMB, OP_SYSCALL))
+_LOAD_OPS = frozenset((OP_LOAD, OP_LOCK_ACQ))
+_STORE_OPS = frozenset((OP_STORE, OP_LOCK_REL))
+_FU_CLASS = {OP_FP: 1, OP_LOAD: 2, OP_STORE: 2, OP_LOCK_ACQ: 2,
+             OP_LOCK_REL: 2, OP_PREFETCH: 2, OP_FLUSH: 2}
+_EXCLUSIVE_OPS = frozenset((OP_STORE, OP_LOCK_REL, OP_LOCK_ACQ))
 
 FAR_FUTURE = 1 << 60
 MISPREDICT_RESTART = 3   # pipeline restart after a resolved misprediction
@@ -119,6 +127,8 @@ class TraceBuffer:
     Instructions are kept from the oldest unretired one onward so the core
     can rewind after consistency-violation rollbacks and context switches.
     """
+
+    __slots__ = ("_source", "_base", "_buf")
 
     def __init__(self, source: Iterator):
         self._source = source
@@ -337,14 +347,14 @@ class ProcessorCore:
         op = instr.op
         if op in _MEMQ_OPS:
             self._mem_inflight += 1
-        if op in (OP_MB, OP_WMB, OP_SYSCALL):
+        if op in _ORDERING_OPS:
             entry.state = ST_DONE  # ordering enforced at retirement
         elif entry.pending == 0:
             entry.state = ST_READY
             heapq.heappush(self._ready, (seq, entry.uid, entry))
-        if op in (OP_LOAD, OP_LOCK_ACQ):
+        if op in _LOAD_OPS:
             self.consistency.note_dispatch(seq, is_load=True)
-        elif op in (OP_STORE, OP_LOCK_REL) and self._sc_mode:
+        elif op in _STORE_OPS and self._sc_mode:
             self.consistency.note_dispatch(seq, is_load=False)
         return entry
 
@@ -371,12 +381,7 @@ class ProcessorCore:
                 self.proc.addr_gen_units]
 
     def _fu_class(self, op: int) -> int:
-        if op == OP_FP:
-            return 1
-        if op in (OP_LOAD, OP_STORE, OP_LOCK_ACQ, OP_LOCK_REL,
-                  OP_PREFETCH, OP_FLUSH):
-            return 2
-        return 0
+        return _FU_CLASS.get(op, 0)
 
     def _issue_ooo(self, now: int) -> None:
         slots = self.proc.issue_width if self.shared is None \
@@ -384,14 +389,17 @@ class ProcessorCore:
         fu = self._fu_budget()
         skipped = []
         ready = self._ready
+        entries = self._entries
+        fu_class = _FU_CLASS.get
+        heappop, heappush = heapq.heappop, heapq.heappush
         issued = 0
         fu_starved = False
         while ready and slots > 0:
-            seq, _uid, entry = heapq.heappop(ready)
-            if self._entries.get(seq) is not entry or \
+            seq, _uid, entry = heappop(ready)
+            if entries.get(seq) is not entry or \
                     entry.state != ST_READY:
                 continue  # stale (squashed or already handled)
-            cls = self._fu_class(entry.instr.op)
+            cls = fu_class(entry.instr.op, 0)
             if fu[cls] <= 0:
                 fu_starved = True
                 skipped.append((seq, entry.uid, entry))
@@ -403,7 +411,7 @@ class ProcessorCore:
                 self.shared.issue_slots -= 1
             self._start_execution(entry, now)
         for item in skipped:
-            heapq.heappush(ready, item)
+            heappush(ready, item)
         # Wake classification for skip-ahead: FU budgets replenish every
         # cycle, so FU starvation (or remaining issue-bandwidth demand)
         # needs a next-cycle tick; otherwise wakes are event-driven.
@@ -523,25 +531,26 @@ class ProcessorCore:
         if not self._memq:
             return
         unit = self.consistency
+        entries = self._entries
+        memsys = self.memsys
         still_queued: List[int] = []
         for seq in self._memq:
-            entry = self._entries.get(seq)
+            entry = entries.get(seq)
             if entry is None or entry.state != ST_MEMQ:
                 continue
             if entry.retry_at > now:
                 still_queued.append(seq)
                 continue
             op = entry.instr.op
-            if op in (OP_LOAD, OP_LOCK_ACQ):
+            if op in _LOAD_OPS:
                 allowed = unit.may_perform_load(seq)
             else:
                 allowed = unit.may_perform_store(seq)
             if not allowed:
                 if unit.wants_prefetch and not entry.prefetched:
-                    self.memsys.prefetch_data(
+                    memsys.prefetch_data(
                         now, entry.instr.addr,
-                        exclusive=op in (OP_STORE, OP_LOCK_REL,
-                                         OP_LOCK_ACQ),
+                        exclusive=op in _EXCLUSIVE_OPS,
                         pc=entry.instr.pc)
                     entry.prefetched = True
                 # Consistency-blocked: the op becomes performable only
@@ -557,9 +566,9 @@ class ProcessorCore:
                     still_queued.append(seq)
                     continue
                 self.lock_table[entry.instr.addr] = self.process.pid
-            is_write = op in (OP_STORE, OP_LOCK_REL, OP_LOCK_ACQ)
-            result = self.memsys.access_data(now, entry.instr.addr,
-                                             is_write, entry.instr.pc)
+            is_write = op in _EXCLUSIVE_OPS
+            result = memsys.access_data(now, entry.instr.addr,
+                                        is_write, entry.instr.pc)
             if result.stalled:
                 entry.retry_at = result.retry_at
                 if op == OP_LOCK_ACQ:
@@ -590,6 +599,10 @@ class ProcessorCore:
         retired = 0
         stall_category: Optional[int] = None
         window = self._window
+        entries = self._entries
+        consistency = self.consistency
+        trace = self._trace
+        stats = self.stats
         while retired < width:
             if not window:
                 if now < self._fetch_blocked_until:
@@ -620,14 +633,14 @@ class ProcessorCore:
             elif op == OP_FLUSH:
                 self.memsys.flush_line(now, entry.instr.addr)
             window.popleft()
-            del self._entries[entry.seq]
+            del entries[entry.seq]
             if op in _MEMQ_OPS:
                 self._mem_inflight -= 1
-            self.consistency.note_removed(entry.seq)
-            self._trace.release_through(entry.seq)
+            consistency.note_removed(entry.seq)
+            trace.release_through(entry.seq)
             retired += 1
             self.retired += 1
-            self.stats.instructions += 1
+            stats.instructions += 1
             if self.shared is not None:
                 self.shared.retire_slots -= 1
             if op == OP_SYSCALL:

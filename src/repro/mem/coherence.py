@@ -82,6 +82,35 @@ class CoherenceStats:
             self.migratory_write_by_line[line] = \
                 self.migratory_write_by_line.get(line, 0) + 1
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot; sets and int-keyed maps become
+        sorted pair lists so the encoding is deterministic."""
+        out: Dict[str, object] = {
+            name: getattr(self, name)
+            for name in ("reads_local", "reads_remote", "reads_dirty",
+                         "writes_local", "writes_remote", "writes_dirty",
+                         "upgrades", "invalidations_sent", "writebacks",
+                         "flushes", "flush_converted_reads",
+                         "migratory_dirty_reads", "migratory_writes",
+                         "shared_writes")
+        }
+        out["migratory_lines"] = sorted(self.migratory_lines)
+        out["migratory_write_by_line"] = sorted(
+            self.migratory_write_by_line.items())
+        out["migratory_refs_by_pc"] = sorted(
+            self.migratory_refs_by_pc.items())
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CoherenceStats":
+        kwargs = dict(data)
+        kwargs["migratory_lines"] = set(kwargs.get("migratory_lines", ()))
+        kwargs["migratory_write_by_line"] = {
+            int(k): v for k, v in kwargs.get("migratory_write_by_line", ())}
+        kwargs["migratory_refs_by_pc"] = {
+            int(k): v for k, v in kwargs.get("migratory_refs_by_pc", ())}
+        return cls(**kwargs)
+
     @property
     def dirty_read_fraction_migratory(self) -> float:
         if not self.reads_dirty:

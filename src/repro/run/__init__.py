@@ -1,0 +1,81 @@
+"""Parallel experiment runner with a persistent result cache.
+
+Public surface:
+
+* :class:`~repro.run.jobs.JobSpec` / :class:`~repro.run.jobs.WorkloadSpec`
+  -- picklable descriptions of one simulation;
+* :func:`~repro.run.executor.run_many` -- cache-aware fan-out over a
+  process pool with deterministic result ordering;
+* :class:`~repro.run.cache.ResultCache` -- on-disk JSON store keyed by
+  job fingerprint (includes :data:`~repro.run.jobs.MODEL_VERSION`);
+* :func:`configure` -- process-wide defaults (worker count, cache) that
+  the figure sweeps, seed sweeps, CLI and benchmarks all route through.
+
+By default the runner is serial and the cache is disabled, so library
+users see exactly the old ``run_simulation`` behaviour unless they (or
+the CLI, which enables the cache) opt in::
+
+    import repro.run as run
+    run.configure(jobs=4, use_cache=True)
+    ...                       # figure/sweep calls now fan out + memoize
+    print(run.shared_cache().format_stats())
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from repro.run.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from repro.run.executor import (
+    JobOutcome,
+    RunReport,
+    default_jobs,
+    run_many,
+)
+from repro.run.jobs import MODEL_VERSION, JobSpec, WorkloadSpec
+
+__all__ = [
+    "JobSpec", "WorkloadSpec", "MODEL_VERSION",
+    "ResultCache", "DEFAULT_CACHE_DIR", "default_cache_dir",
+    "run_many", "RunReport", "JobOutcome", "default_jobs",
+    "configure", "runner_defaults", "shared_cache",
+]
+
+_jobs: int = default_jobs()
+_cache: Optional[ResultCache] = None
+if os.environ.get("REPRO_CACHE") == "1":
+    _cache = ResultCache()
+
+
+def configure(jobs: Optional[int] = None,
+              use_cache: Optional[bool] = None,
+              cache_dir: Optional[str] = None) -> None:
+    """Set process-wide runner defaults.
+
+    ``jobs``: worker count for subsequent sweeps (1 = serial).
+    ``use_cache``: enable/disable the shared on-disk result cache.
+    ``cache_dir``: cache location (implies ``use_cache=True``).
+    Arguments left as ``None`` keep their current value.
+    """
+    global _jobs, _cache
+    if jobs is not None:
+        _jobs = max(1, int(jobs))
+    if cache_dir is not None:
+        _cache = ResultCache(cache_dir)
+    elif use_cache is not None:
+        if use_cache:
+            if _cache is None:
+                _cache = ResultCache()
+        else:
+            _cache = None
+
+
+def runner_defaults() -> Tuple[int, Optional[ResultCache]]:
+    """Current (jobs, cache) defaults used by :func:`run_many`."""
+    return _jobs, _cache
+
+
+def shared_cache() -> Optional[ResultCache]:
+    """The process-wide cache instance, or ``None`` when disabled."""
+    return _cache

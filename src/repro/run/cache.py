@@ -1,0 +1,110 @@
+"""On-disk result cache for experiment jobs.
+
+One JSON file per completed :class:`~repro.run.jobs.JobSpec`, stored
+under ``.repro-cache/`` (override with the ``REPRO_CACHE_DIR``
+environment variable) and keyed by the spec's content fingerprint --
+which already folds in :data:`~repro.run.jobs.MODEL_VERSION`, so results
+produced by an older simulator simply stop matching after a version bump
+(they are dead weight until :meth:`ResultCache.purge` removes them).
+
+Each entry stores the job description next to the result, so a cache
+directory is self-describing and individual entries can be audited or
+replayed by hand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.experiment import SimulationResult
+from repro.run.jobs import JobSpec
+
+#: Default cache location (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_ENTRY_FORMAT = 1
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SimulationResult` snapshots."""
+
+    def __init__(self, path: Union[str, Path, None] = None):
+        self.path = Path(path if path is not None else default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ io
+
+    def _entry_path(self, key: str) -> Path:
+        return self.path / f"{key}.json"
+
+    def get(self, spec: JobSpec) -> Optional[SimulationResult]:
+        """Cached result for ``spec``, or ``None`` (counts hit/miss)."""
+        entry = self._entry_path(spec.fingerprint())
+        try:
+            with open(entry) as fh:
+                data = json.load(fh)
+            result = SimulationResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, truncated, or written by an incompatible encoder:
+            # treat as a miss and let the fresh run overwrite it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: JobSpec, result: SimulationResult) -> None:
+        """Store ``result`` under ``spec``'s fingerprint (atomic write)."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _ENTRY_FORMAT,
+            "job": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        text = json.dumps(payload, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text + "\n")
+            os.replace(tmp, self._entry_path(spec.fingerprint()))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ admin
+
+    def __len__(self) -> int:
+        if not self.path.is_dir():
+            return 0
+        return sum(1 for _ in self.path.glob("*.json"))
+
+    def purge(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if self.path.is_dir():
+            for entry in self.path.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self), "dir": str(self.path)}
+
+    def format_stats(self) -> str:
+        return (f"cache: {self.hits} hits, {self.misses} misses, "
+                f"{len(self)} entries in {self.path}")

@@ -1,0 +1,183 @@
+"""Fan-out executor for independent simulation jobs.
+
+:func:`run_many` takes a list of :class:`~repro.run.jobs.JobSpec` and
+returns their results *in input order*, regardless of completion order,
+so callers (figure sweeps, seed sweeps) see exactly the rows they asked
+for.  Dispatch policy:
+
+* every spec is first looked up in the result cache (when one is given);
+* remaining misses run either serially in-process (``jobs=1``, the
+  deterministic baseline) or on a ``ProcessPoolExecutor`` with ``jobs``
+  workers;
+* if the pool cannot be created or dies (restricted environments without
+  ``fork``/semaphores, interpreter shutdown), the executor falls back to
+  the serial path instead of failing the sweep.
+
+Workers receive the plain-dict encoding of the spec and return the
+plain-dict encoding of the result, so nothing that crosses the process
+boundary depends on picklability of live simulator state.  Per-job wall
+time and simulated-instruction throughput are recorded in the returned
+:class:`RunReport`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.experiment import SimulationResult
+from repro.run.cache import ResultCache
+from repro.run.jobs import JobSpec
+
+
+def _execute_payload(payload: Dict[str, Any]
+                     ) -> Tuple[Dict[str, Any], float]:
+    """Worker entry point: rebuild the job, run it, ship the result back."""
+    spec = JobSpec.from_dict(payload)
+    start = time.perf_counter()
+    result = spec.run()
+    return result.to_dict(), time.perf_counter() - start
+
+
+@dataclass
+class JobOutcome:
+    """One job's result plus execution accounting."""
+
+    spec: JobSpec
+    result: SimulationResult
+    wall_time: float      # seconds spent simulating (0.0 for cache hits)
+    cached: bool = False
+
+
+@dataclass
+class RunReport:
+    """Results of one :func:`run_many` call, in input order."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    wall_time: float = 0.0    # elapsed time of the whole run_many call
+    jobs: int = 1             # worker count actually used
+    fell_back_to_serial: bool = False
+
+    @property
+    def results(self) -> List[SimulationResult]:
+        return [o.result for o in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.outcomes) - self.cache_hits
+
+    @property
+    def simulated_instructions(self) -> int:
+        """Instructions actually simulated (cache hits cost nothing)."""
+        return sum(o.spec.instructions + o.spec.warmup
+                   for o in self.outcomes if not o.cached)
+
+    @property
+    def throughput(self) -> float:
+        """Simulated instructions per wall-clock second."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.simulated_instructions / self.wall_time
+
+    def format_summary(self) -> str:
+        return (f"{len(self.outcomes)} jobs ({self.cache_hits} cached) in "
+                f"{self.wall_time:.2f}s with {self.jobs} worker(s), "
+                f"{self.throughput:,.0f} simulated instr/s")
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1: serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _run_serial(pending: Sequence[Tuple[int, JobSpec]],
+                cache: Optional[ResultCache],
+                outcomes: List[Optional[JobOutcome]]) -> None:
+    for index, spec in pending:
+        start = time.perf_counter()
+        result = spec.run()
+        elapsed = time.perf_counter() - start
+        if cache is not None:
+            cache.put(spec, result)
+        outcomes[index] = JobOutcome(spec, result, elapsed)
+
+
+def _run_pool(pending: Sequence[Tuple[int, JobSpec]], jobs: int,
+              cache: Optional[ResultCache],
+              outcomes: List[Optional[JobOutcome]]) -> bool:
+    """Run misses on a process pool; ``False`` if the pool was unusable."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:                                # pragma: no cover
+        return False
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [(index, spec,
+                        pool.submit(_execute_payload, spec.to_dict()))
+                       for index, spec in pending]
+            for index, spec, future in futures:
+                result_dict, elapsed = future.result()
+                result = SimulationResult.from_dict(result_dict)
+                if cache is not None:
+                    cache.put(spec, result)
+                outcomes[index] = JobOutcome(spec, result, elapsed)
+    except (OSError, PermissionError, BrokenProcessPool, RuntimeError):
+        return False
+    return True
+
+
+def run_many(specs: Sequence[JobSpec], jobs: Optional[int] = None,
+             cache: Optional[ResultCache] = None) -> RunReport:
+    """Execute ``specs`` and return a report with results in input order.
+
+    ``jobs=None`` uses the configured default (see
+    :func:`repro.run.configure` / ``REPRO_JOBS``); ``cache=None`` with
+    ``jobs=None`` likewise picks up the configured shared cache.
+    """
+    if jobs is None or cache is None:
+        from repro.run import runner_defaults
+        cfg_jobs, cfg_cache = runner_defaults()
+        if jobs is None:
+            jobs = cfg_jobs
+        if cache is None:
+            cache = cfg_cache
+    jobs = max(1, int(jobs))
+
+    start = time.perf_counter()
+    outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+    pending: List[Tuple[int, JobSpec]] = []
+    for index, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            outcomes[index] = JobOutcome(spec, hit, 0.0, cached=True)
+        else:
+            pending.append((index, spec))
+
+    fell_back = False
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            ok = _run_pool(pending, min(jobs, len(pending)), cache,
+                           outcomes)
+            if not ok:
+                fell_back = True
+                _run_serial([p for p in pending
+                             if outcomes[p[0]] is None], cache, outcomes)
+        else:
+            _run_serial(pending, cache, outcomes)
+
+    report = RunReport(outcomes=[o for o in outcomes if o is not None],
+                       wall_time=time.perf_counter() - start,
+                       jobs=1 if (jobs == 1 or fell_back) else jobs,
+                       fell_back_to_serial=fell_back)
+    assert len(report.outcomes) == len(specs)
+    return report

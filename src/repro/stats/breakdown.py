@@ -109,6 +109,24 @@ class ExecutionBreakdown:
         return {CATEGORY_NAMES[i]: self.cycles[i]
                 for i in range(N_CATEGORIES)}
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (exact: cycles are kept as the raw
+        per-category list, not derived shares)."""
+        return {"cycles": list(self.cycles),
+                "instructions": self.instructions}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExecutionBreakdown":
+        out = cls()
+        cycles = list(data["cycles"])
+        if len(cycles) != N_CATEGORIES:
+            raise ValueError(
+                f"expected {N_CATEGORIES} breakdown categories, "
+                f"got {len(cycles)}")
+        out.cycles = cycles
+        out.instructions = int(data["instructions"])
+        return out
+
     def shares(self) -> Dict[str, float]:
         """Each component as a fraction of non-idle execution time."""
         total = self.total or 1.0

@@ -35,6 +35,20 @@ class MshrOccupancy:
         self._events_all.clear()
         self._events_read.clear()
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot: the raw (time, delta) event lists,
+        so distributions recompute exactly after a round trip."""
+        return {"max_n": self.max_n,
+                "events_all": [list(e) for e in self._events_all],
+                "events_read": [list(e) for e in self._events_read]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MshrOccupancy":
+        out = cls(max_n=int(data["max_n"]))
+        out._events_all = [(int(t), int(d)) for t, d in data["events_all"]]
+        out._events_read = [(int(t), int(d)) for t, d in data["events_read"]]
+        return out
+
     @staticmethod
     def _sweep(events: List[Tuple[int, int]], max_n: int) -> List[float]:
         """time spent at each occupancy level, index 0 unused."""
@@ -93,6 +107,17 @@ class MshrOccupancyGroup:
     def reset(self) -> None:
         for collector in self.collectors:
             collector.reset()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"max_n": self.max_n,
+                "collectors": [c.to_dict() for c in self.collectors]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MshrOccupancyGroup":
+        out = cls(n_caches=0, max_n=int(data["max_n"]))
+        out.collectors = [MshrOccupancy.from_dict(c)
+                          for c in data["collectors"]]
+        return out
 
     def distribution(self, reads_only: bool = False) -> Dict[int, float]:
         """Busy-time-weighted average of the per-cache distributions."""

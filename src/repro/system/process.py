@@ -15,6 +15,9 @@ class Process:
     instruction to fetch when the process is (re)scheduled.
     """
 
+    __slots__ = ("pid", "cpu", "trace", "generator", "resume_seq",
+                 "blocked_until", "syscalls")
+
     def __init__(self, pid: int, generator: Iterator, cpu: int):
         self.pid = pid
         self.cpu = cpu

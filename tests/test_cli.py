@@ -3,12 +3,19 @@
 import pytest
 
 import repro.cli as cli
+import repro.run
 
 
 @pytest.fixture(autouse=True)
-def tiny_sizes(monkeypatch):
+def tiny_sizes(monkeypatch, tmp_path):
     monkeypatch.setattr(cli, "_QUICK_SIZES",
                         {"oltp": (3000, 3000), "dss": (3000, 3000)})
+    # The CLI enables the persistent cache by default; keep test runs
+    # isolated in a throwaway directory and restore the previous state.
+    previous = repro.run.runner_defaults()
+    repro.run.configure(cache_dir=str(tmp_path / "cache"))
+    yield
+    repro.run._jobs, repro.run._cache = previous
 
 
 class TestCli:

@@ -1,0 +1,215 @@
+"""Tests for the parallel experiment runner and persistent result cache.
+
+Covers the determinism guarantees the runner depends on (serial reruns
+and parallel fan-out must be bit-identical), the JobSpec fingerprint,
+SimulationResult round-trip serialization, and the on-disk cache.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.run
+from repro.core.experiment import SimulationResult, run_simulation
+from repro.core.sweep import seed_sweep
+from repro.core.workloads import dss_workload, oltp_workload
+from repro.params import default_system
+from repro.run import JobSpec, WorkloadSpec, ResultCache, run_many
+from repro.run import jobs as jobs_mod
+
+TINY = dict(instructions=2500, warmup=2500)
+
+
+def tiny_spec(seed=0, kind="oltp", **params_changes):
+    params = default_system(**params_changes)
+    return JobSpec(params, WorkloadSpec(kind), seed=seed, **TINY)
+
+
+class TestWorkloadSpec:
+    def test_build_matches_direct_factory(self):
+        wl = WorkloadSpec("oltp").build()
+        direct = oltp_workload()
+        assert wl.name == direct.name
+        assert wl.processes_per_cpu == direct.processes_per_cpu
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("tpc-z")
+
+    def test_from_factory(self):
+        assert WorkloadSpec.from_factory(oltp_workload).kind == "oltp"
+        assert WorkloadSpec.from_factory(dss_workload).kind == "dss"
+        assert WorkloadSpec.from_factory(lambda: None) is None
+
+    def test_hints_round_trip(self):
+        from repro.core.optimizations import migratory_hints
+        hints = migratory_hints(prefetch=True, flush=True,
+                                pc_filter={7, 3})
+        spec = WorkloadSpec.from_hints("oltp", hints=hints)
+        rebuilt = WorkloadSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.hints.prefetch and rebuilt.hints.flush
+        assert rebuilt.hints.pc_filter == {3, 7}
+
+    def test_dss_rejects_hints(self):
+        spec = WorkloadSpec("dss", hints_flush=True)
+        with pytest.raises(ValueError):
+            spec.build()
+
+
+class TestJobSpec:
+    def test_fingerprint_stable_and_distinct(self):
+        a, b = tiny_spec(seed=0), tiny_spec(seed=0)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != tiny_spec(seed=1).fingerprint()
+        assert a.fingerprint() != tiny_spec(kind="dss").fingerprint()
+        wider = tiny_spec()
+        wider = dataclasses.replace(wider, instructions=3000)
+        assert a.fingerprint() != wider.fingerprint()
+
+    def test_fingerprint_depends_on_model_version(self, monkeypatch):
+        before = tiny_spec().fingerprint()
+        monkeypatch.setattr(jobs_mod, "MODEL_VERSION",
+                            jobs_mod.MODEL_VERSION + 1)
+        assert tiny_spec().fingerprint() != before
+
+    def test_dict_round_trip(self):
+        spec = tiny_spec(seed=3)
+        again = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_run_equals_run_simulation(self):
+        spec = tiny_spec()
+        direct = run_simulation(spec.params, oltp_workload(),
+                                seed=0, **TINY)
+        assert spec.run().cycles == direct.cycles
+
+
+class TestResultRoundTrip:
+    def test_byte_identical_through_json(self):
+        result = tiny_spec().run()
+        encoded = json.dumps(result.to_dict(), sort_keys=True)
+        again = SimulationResult.from_dict(json.loads(encoded))
+        assert again.dump() == result.dump()
+        assert again.breakdown.cycles == result.breakdown.cycles
+        assert again.breakdown.instructions == \
+            result.breakdown.instructions
+        assert again.coherence == result.coherence
+        for reads_only in (False, True):
+            assert again.l1d_mshr.distribution(reads_only) == \
+                result.l1d_mshr.distribution(reads_only)
+            assert again.l2_mshr.distribution(reads_only) == \
+                result.l2_mshr.distribution(reads_only)
+        assert again.params == result.params
+        assert again.miss_rates == result.miss_rates
+
+
+class TestDeterminism:
+    """Two serial runs and one parallel run with the same seed produce
+    identical cycles and breakdowns -- guards cache and executor
+    correctness (results computed anywhere must be interchangeable)."""
+
+    def test_serial_twice_and_parallel_once_identical(self):
+        specs = [tiny_spec(seed=7), tiny_spec(seed=7, n_nodes=2),
+                 tiny_spec(seed=7, kind="dss")]
+        first = run_many(specs, jobs=1, cache=None)
+        second = run_many(specs, jobs=1, cache=None)
+        parallel = run_many(specs, jobs=2, cache=None)
+        runs = [first.results, second.results, parallel.results]
+        for results in runs[1:]:
+            for got, want in zip(results, runs[0]):
+                assert got.cycles == want.cycles
+                assert got.breakdown.cycles == want.breakdown.cycles
+                assert got.miss_rates == want.miss_rates
+                assert got.dump() == want.dump()
+        # The pool may legitimately fall back to serial in restricted
+        # sandboxes; determinism must hold either way.
+        assert len(parallel.results) == len(specs)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_spec()
+        assert cache.get(spec) is None
+        result = spec.run()
+        cache.put(spec, result)
+        hit = cache.get(spec)
+        assert hit is not None and hit.dump() == result.dump()
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        cache.put(spec, spec.run())
+        entry = next(cache.path.glob("*.json"))
+        entry.write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_purge(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        cache.put(spec, spec.run())
+        assert cache.purge() == 1
+        assert len(cache) == 0
+        assert "0 entries" in cache.format_stats()
+
+    def test_run_many_integration(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [tiny_spec(seed=s) for s in (0, 1)]
+        cold = run_many(specs, jobs=1, cache=cache)
+        warm = run_many(specs, jobs=1, cache=cache)
+        assert cold.cache_hits == 0 and warm.cache_hits == 2
+        assert warm.simulated_instructions == 0
+        assert [r.dump() for r in warm.results] == \
+            [r.dump() for r in cold.results]
+
+    def test_model_version_invalidates(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        cache.put(spec, spec.run())
+        monkeypatch.setattr(jobs_mod, "MODEL_VERSION",
+                            jobs_mod.MODEL_VERSION + 1)
+        assert cache.get(tiny_spec()) is None
+
+
+class TestRunnerDefaults:
+    def test_configure_round_trip(self):
+        previous = repro.run.runner_defaults()
+        try:
+            repro.run.configure(jobs=3, use_cache=False)
+            jobs, cache = repro.run.runner_defaults()
+            assert jobs == 3 and cache is None
+            repro.run.configure(use_cache=True)
+            assert repro.run.shared_cache() is not None
+        finally:
+            repro.run._jobs, repro.run._cache = previous
+
+    def test_seed_sweep_uses_runner_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        previous = repro.run.runner_defaults()
+        try:
+            repro.run.configure(jobs=1)
+            repro.run._cache = cache
+            sweep_a = seed_sweep(default_system(), oltp_workload,
+                                 seeds=(0, 1), label="a", **TINY)
+            sweep_b = seed_sweep(default_system(), oltp_workload,
+                                 seeds=(0, 1), label="b", **TINY)
+            assert sweep_a.cycles == sweep_b.cycles
+            assert cache.hits == 2  # second sweep fully cached
+        finally:
+            repro.run._jobs, repro.run._cache = previous
+
+    def test_seed_sweep_arbitrary_factory_falls_back(self):
+        calls = []
+
+        def custom():
+            calls.append(1)
+            return oltp_workload()
+
+        sweep = seed_sweep(default_system(), custom, seeds=(0,),
+                           label="custom", **TINY)
+        assert len(sweep.cycles) == 1 and calls
