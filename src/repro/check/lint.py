@@ -1,0 +1,422 @@
+"""AST-based determinism linter for the simulator sources.
+
+The simulator's claims rest on bit-exact reproducibility: identical
+configurations must produce identical cycle counts on any host, any
+Python build, any process.  These rules catch the ways Python lets
+nondeterminism creep in:
+
+======  ==================================================================
+code    rule
+======  ==================================================================
+R001    no unseeded randomness: module-level ``random.*`` calls and
+        ``random.Random()`` without a seed draw from global, process-
+        dependent state
+R002    no wall-clock reads (``time.time``, ``perf_counter``,
+        ``datetime.now``, ...) -- simulated time is the only clock
+R003    no iteration over bare ``set``/``frozenset`` values where order
+        can leak into behaviour (wrap in ``sorted(...)``; membership
+        tests and order-insensitive reductions are fine)
+R004    integer-only cycle arithmetic: true division assigned to a
+        cycle-carrying name loses exactness (use ``//`` or wrap in
+        ``int()``/``round()``)
+R005    ``JobSpec``/``WorkloadSpec`` fields must keep picklable,
+        JSON-able types -- worker processes and the result cache both
+        serialize them
+======  ==================================================================
+
+Suppressions::
+
+    x = a / b          # repro-lint: disable=R004
+    # repro-lint: disable-file=R002   (anywhere in the file)
+
+``repro lint`` runs this over ``src/repro`` and exits nonzero on any
+finding; CI enforces a clean run.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+RULES: Dict[str, str] = {
+    "R001": "unseeded randomness (global random module state)",
+    "R002": "wall-clock read in simulation code",
+    "R003": "iteration over a bare set (order leaks into behaviour)",
+    "R004": "float division assigned to a cycle-carrying name",
+    "R005": "unpicklable field type on JobSpec/WorkloadSpec",
+}
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)=([A-Za-z0-9_,\s]+)")
+
+# Names whose values carry simulated time; R004 guards their exactness.
+_CYCLE_NAME = re.compile(
+    r"(^|_)(now|cycles?|done|ready|retry|start|deadline|latency|wake|"
+    r"next_free|inject|issue)(_|$)")
+
+# Wall-clock callables per module (R002).
+_WALL_CLOCK = {
+    "time": {"time", "time_ns", "perf_counter", "perf_counter_ns",
+             "monotonic", "monotonic_ns", "clock"},
+    "datetime": {"now", "today", "utcnow"},
+}
+
+# Order-insensitive consumers a bare set may flow into (R003 exemption).
+_ORDER_FREE = {"sorted", "len", "min", "max", "sum", "any", "all",
+               "set", "frozenset"}
+
+# Order-sensitive consumers that trigger R003 when fed a bare set.
+_ORDER_SENSITIVE = {"list", "tuple", "enumerate", "iter", "zip"}
+
+# Picklable / JSON-friendly annotation vocabulary for spec dataclasses
+# (R005).  Everything a worker process or the result cache must encode.
+_SPEC_TYPES = {
+    "int", "float", "str", "bool", "bytes", "None",
+    "Optional", "Union", "Tuple", "tuple", "List", "list",
+    "Dict", "dict", "Mapping", "Any", "ClassVar",
+    "SystemParams", "WorkloadSpec", "MigratoryHints",
+}
+_SPEC_CLASSES = {"JobSpec", "WorkloadSpec"}
+
+
+@dataclass
+class LintViolation:
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.violations: List[LintViolation] = []
+        self.file_disabled: Set[str] = set()
+        self.line_disabled: Dict[int, Set[str]] = {}
+        self._random_aliases: Set[str] = set()     # modules aliased to random
+        self._random_funcs: Set[str] = set()       # from random import X
+        self._time_aliases: Dict[str, str] = {}    # alias -> module
+        self._wall_funcs: Dict[str, str] = {}      # from-imported name -> mod
+        self._set_names: Set[str] = set()
+        self._set_attrs: Set[str] = set()
+        self._parse_pragmas()
+
+    # -- pragmas -------------------------------------------------------------
+
+    def _parse_pragmas(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _PRAGMA.search(text)
+            if not match:
+                continue
+            kind, codes = match.groups()
+            parsed = {code.strip().upper()
+                      for code in codes.split(",") if code.strip()}
+            if "ALL" in parsed:
+                parsed = set(RULES)
+            if kind == "disable-file":
+                self.file_disabled |= parsed
+            else:
+                self.line_disabled.setdefault(lineno, set()).update(parsed)
+
+    def _suppressed(self, node: ast.AST, code: str) -> bool:
+        if code in self.file_disabled:
+            return True
+        first = getattr(node, "lineno", 0)
+        last = getattr(node, "end_lineno", first) or first
+        return any(code in self.line_disabled.get(line, ())
+                   for line in range(first, last + 1))
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        if not self._suppressed(node, code):
+            self.violations.append(LintViolation(
+                self.path, getattr(node, "lineno", 0), code, message))
+
+    # -- entry ---------------------------------------------------------------
+
+    def run(self) -> List[LintViolation]:
+        tree = ast.parse(self.source, filename=self.path)
+        self._collect_set_symbols(tree)
+        self.visit(tree)
+        return self.violations
+
+    # -- imports -------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name
+            if alias.name == "random":
+                self._random_aliases.add(name)
+            if alias.name in _WALL_CLOCK:
+                self._time_aliases[name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "random":
+                self._random_funcs.add(bound)
+            if node.module in _WALL_CLOCK and \
+                    alias.name in _WALL_CLOCK[node.module]:
+                self._wall_funcs[bound] = node.module
+            if node.module == "datetime" and alias.name == "datetime":
+                self._time_aliases[bound] = "datetime"
+        self.generic_visit(node)
+
+    # -- R001 / R002: calls ----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            owner, attr = func.value.id, func.attr
+            if owner in self._random_aliases:
+                if attr == "Random":
+                    if not node.args and not node.keywords:
+                        self._report(node, "R001",
+                                     "random.Random() without a seed")
+                elif attr != "seed":
+                    self._report(
+                        node, "R001",
+                        f"call to module-level random.{attr} (uses global "
+                        f"process-dependent state; use a seeded "
+                        f"random.Random instance)")
+            module = self._time_aliases.get(owner)
+            if module and attr in _WALL_CLOCK[module]:
+                self._report(node, "R002",
+                             f"wall-clock call {owner}.{attr}() "
+                             f"(simulated time is the only clock)")
+        elif isinstance(func, ast.Name):
+            if func.id in self._random_funcs:
+                self._report(node, "R001",
+                             f"call to random-module function "
+                             f"{func.id}() imported at module level")
+            if func.id in self._wall_funcs:
+                self._report(node, "R002",
+                             f"wall-clock call {func.id}() imported from "
+                             f"{self._wall_funcs[func.id]}")
+            if func.id in _ORDER_SENSITIVE and node.args and \
+                    self._is_setish(node.args[0]):
+                self._report(node, "R003",
+                             f"{func.id}() over a bare set -- wrap the "
+                             f"set in sorted(...)")
+        if isinstance(func, ast.Attribute) and func.attr == "join" and \
+                node.args and self._is_setish(node.args[0]):
+            self._report(node, "R003",
+                         "str.join over a bare set -- wrap in sorted(...)")
+        self.generic_visit(node)
+
+    # -- R003: iteration -------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_setish(node.iter):
+            self._report(node, "R003",
+                         "for-loop over a bare set -- wrap the iterable "
+                         "in sorted(...)")
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        for gen in node.generators:
+            if self._is_setish(gen.iter):
+                self._report(node, "R003",
+                             "comprehension over a bare set -- wrap the "
+                             "iterable in sorted(...)")
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_DictComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+
+    # -- R004: cycle arithmetic ------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_cycle_division(target, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_cycle_division(node.target, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        name = self._target_name(node.target)
+        if name and _CYCLE_NAME.search(name):
+            if isinstance(node.op, ast.Div) or \
+                    self._has_unguarded_div(node.value):
+                self._report(node, "R004",
+                             f"float division feeding cycle variable "
+                             f"{name!r} (use // or int(...))")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _target_name(target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        return None
+
+    def _check_cycle_division(self, target: ast.AST, value: ast.AST,
+                              node: ast.AST) -> None:
+        name = self._target_name(target)
+        if name and _CYCLE_NAME.search(name) and \
+                self._has_unguarded_div(value):
+            self._report(node, "R004",
+                         f"float division feeding cycle variable "
+                         f"{name!r} (use // or int(...))")
+
+    def _has_unguarded_div(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            func = node.func
+            guard = (func.id if isinstance(func, ast.Name)
+                     else func.attr if isinstance(func, ast.Attribute)
+                     else "")
+            if guard in ("int", "round", "floor", "ceil"):
+                return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return True
+        return any(self._has_unguarded_div(child)
+                   for child in ast.iter_child_nodes(node))
+
+    # -- R005: spec dataclass fields -------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name in _SPEC_CLASSES:
+            for item in node.body:
+                if isinstance(item, ast.AnnAssign) and \
+                        isinstance(item.target, ast.Name):
+                    bad = self._foreign_types(item.annotation)
+                    if bad:
+                        self._report(
+                            item, "R005",
+                            f"field {item.target.id!r} uses "
+                            f"non-serializable type(s) {sorted(bad)}")
+        self.generic_visit(node)
+
+    def _foreign_types(self, annotation: ast.AST) -> Set[str]:
+        bad: Set[str] = set()
+        for sub in ast.walk(annotation):
+            if isinstance(sub, ast.Name) and sub.id not in _SPEC_TYPES:
+                bad.add(sub.id)
+            elif isinstance(sub, ast.Attribute) and \
+                    sub.attr not in _SPEC_TYPES:
+                bad.add(sub.attr)
+        return bad
+
+    # -- set-symbol inference --------------------------------------------------
+
+    def _collect_set_symbols(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                if self._is_setish_literal(node.value):
+                    for target in node.targets:
+                        self._record_set_target(target)
+            elif isinstance(node, ast.AnnAssign):
+                if self._annotation_is_set(node.annotation) or (
+                        node.value is not None
+                        and self._is_setish_literal(node.value)):
+                    self._record_set_target(node.target)
+
+    def _record_set_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self._set_names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            self._set_attrs.add(target.attr)
+
+    @staticmethod
+    def _annotation_is_set(annotation: ast.AST) -> bool:
+        for sub in ast.walk(annotation):
+            if isinstance(sub, ast.Name) and \
+                    sub.id in ("Set", "set", "FrozenSet", "frozenset"):
+                return True
+        return False
+
+    def _is_setish_literal(self, node: ast.AST) -> bool:
+        """Syntactically a set value (no symbol lookup)."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+            # dataclasses.field(default_factory=set)
+            if node.func.id == "field":
+                for kw in node.keywords:
+                    if kw.arg == "default_factory" and \
+                            isinstance(kw.value, ast.Name) and \
+                            kw.value.id in ("set", "frozenset"):
+                        return True
+        return False
+
+    def _is_setish(self, node: ast.AST) -> bool:
+        """Is this expression (recursively) a bare set value?"""
+        if self._is_setish_literal(node):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return self._is_setish(node.left) or \
+                self._is_setish(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self._set_names
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._set_attrs
+        return False
+
+
+def lint_file(path: str) -> List[LintViolation]:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return _FileLinter(path, source).run()
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs
+                             if d not in ("__pycache__",)
+                             and not d.endswith(".egg-info"))
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def lint_paths(paths: Sequence[str]) -> Tuple[List[LintViolation], int]:
+    """Lint every Python file under ``paths``; returns (violations,
+    files_checked)."""
+    violations: List[LintViolation] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        checked += 1
+        violations.extend(lint_file(path))
+    return violations, checked
+
+
+def default_lint_root() -> str:
+    """The simulator package directory (``src/repro``) of this checkout."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_lint(paths: Optional[Sequence[str]] = None,
+             verbose: bool = True) -> int:
+    """CLI entry: lint ``paths`` (default: the repro package); returns
+    the number of violations."""
+    targets = list(paths) if paths else [default_lint_root()]
+    violations, checked = lint_paths(targets)
+    for violation in violations:
+        print(violation)
+    if verbose:
+        status = "clean" if not violations else \
+            f"{len(violations)} violation(s)"
+        print(f"repro lint: {checked} file(s) checked, {status}")
+    return len(violations)

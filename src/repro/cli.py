@@ -5,9 +5,13 @@ Usage::
     python -m repro characterize [--quick]      # in-text tables
     python -m repro figure 2a|2b|2c|3a|3b|3c|4|5|6|7a|7b [oltp|dss] [--quick]
     python -m repro report [--quick]            # everything, in order
+    python -m repro validate                    # internal consistency checks
+    python -m repro check [--skip-mutations]    # litmus + sanitizer suite
+    python -m repro lint [paths...]             # determinism linter
 
 ``--quick`` runs small simulations (~seconds each) for smoke testing;
-the defaults match the benchmark harness.
+the defaults match the benchmark harness.  ``validate``, ``check`` and
+``lint`` exit nonzero on any failure, so they gate CI directly.
 
 Runner options (accepted before or after the subcommand):
 
@@ -19,6 +23,9 @@ Runner options (accepted before or after the subcommand):
     memoized under ``.repro-cache/`` (override with ``REPRO_CACHE_DIR``)
     keyed by a content hash of the full configuration, so repeating a
     report is near-instant; ``repro report`` prints a cache-stats line.
+``--cache-dir DIR``
+    Put the result cache at ``DIR`` instead of the default location
+    (equivalent to ``REPRO_CACHE_DIR``, but per-invocation).
 """
 
 from __future__ import annotations
@@ -122,6 +129,10 @@ def _build_parser() -> argparse.ArgumentParser:
     common.add_argument("--no-cache", action="store_true",
                         default=argparse.SUPPRESS,
                         help="disable the persistent result cache")
+    common.add_argument("--cache-dir", default=argparse.SUPPRESS,
+                        metavar="DIR",
+                        help="result cache location (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache/)")
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      parents=[common])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -131,6 +142,19 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("workload", nargs="?", choices=["oltp", "dss"])
     sub.add_parser("report", parents=[common])
     sub.add_parser("validate", parents=[common])
+    check = sub.add_parser(
+        "check", parents=[common],
+        help="litmus matrix, sanitizer smoke runs and mutation self-test")
+    check.add_argument("--skip-mutations", action="store_true",
+                       help="skip the mutation self-test (faster)")
+    lint = sub.add_parser(
+        "lint", parents=[common],
+        help="AST determinism linter over the simulator sources")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: the installed "
+                           "repro package)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -139,8 +163,22 @@ def main(argv=None) -> int:
     quick = getattr(args, "quick", False)
     no_cache = getattr(args, "no_cache", False)
     run.configure(jobs=getattr(args, "jobs", None) or run.default_jobs(),
-                  use_cache=not no_cache)
+                  use_cache=not no_cache,
+                  cache_dir=(None if no_cache
+                             else getattr(args, "cache_dir", None)))
 
+    if args.command == "lint":
+        from repro.check.lint import RULES, run_lint
+        if args.list_rules:
+            for code, description in sorted(RULES.items()):
+                print(f"{code}  {description}")
+            return 0
+        return 1 if run_lint(args.paths or None) else 0
+    if args.command == "check":
+        from repro.check import run_check_suite
+        ok = run_check_suite(verbose=True,
+                             self_test=not args.skip_mutations)
+        return 0 if ok else 1
     if args.command == "characterize":
         cmd_characterize(quick)
     elif args.command == "figure":

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.core.experiment import run_simulation
-from repro.core.workloads import Workload, oltp_workload
+from repro.core.workloads import Workload, dss_workload, oltp_workload
 from repro.params import SystemParams, default_system
 from repro.system.machine import Machine
 
@@ -112,11 +112,37 @@ def check_stall_accounting(instructions: int = 10_000
         f"({error:.2%} error)")
 
 
+def check_sanitizer_neutrality(workload: str = "oltp",
+                               instructions: int = 10_000
+                               ) -> ValidationResult:
+    """The runtime sanitizer (``SystemParams.check``) must be a pure
+    observer: a sanitized run passes every invariant *and* reproduces
+    the plain run's cycle count exactly."""
+    from repro.check.invariants import InvariantViolation
+    factory = oltp_workload if workload == "oltp" else dss_workload
+    params = default_system()
+    plain = run_simulation(params, factory(), instructions=instructions,
+                           warmup=instructions)
+    try:
+        checked = run_simulation(params.replace(check=True), factory(),
+                                 instructions=instructions,
+                                 warmup=instructions)
+    except InvariantViolation as violation:
+        return ValidationResult(f"sanitizer-{workload}", False,
+                                f"invariant violated: {violation}")
+    passed = plain.cycles == checked.cycles
+    return ValidationResult(
+        f"sanitizer-{workload}", passed,
+        f"cycles {plain.cycles} plain vs {checked.cycles} sanitized")
+
+
 ALL_CHECKS: Dict[str, Callable[[], ValidationResult]] = {
     "determinism": check_determinism,
     "scaling": check_scaling,
     "lock-correctness": check_lock_correctness,
     "stall-accounting": check_stall_accounting,
+    "sanitizer-oltp": check_sanitizer_neutrality,
+    "sanitizer-dss": lambda: check_sanitizer_neutrality("dss"),
 }
 
 

@@ -63,6 +63,15 @@ class CacheArray:
         s[line] = True
         return True
 
+    def mark_clean(self, line: int) -> bool:
+        """Clear the dirty bit (ownership downgrade: memory now holds the
+        data); returns False if the line is absent."""
+        s = self._sets[line & self._set_mask]
+        if line not in s:
+            return False
+        s[line] = False
+        return True
+
     def invalidate(self, line: int) -> Tuple[bool, bool]:
         """Remove ``line``; returns (was_present, was_dirty)."""
         s = self._sets[line & self._set_mask]

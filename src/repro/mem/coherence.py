@@ -149,6 +149,10 @@ class CoherentMemory:
         # exclusive-but-clean (E) line is supplied by memory; only truly
         # dirty lines need the long cache-to-cache transfer.
         self.dirty_hooks: List = [None] * self.n_nodes
+        # Invoked on the old owner when a remote read demotes its
+        # exclusive copy to shared: the copy stays cached but loses write
+        # permission and its dirty bit (memory now holds the data).
+        self.downgrade_hooks: List = [None] * self.n_nodes
         self.stats = CoherenceStats()
         self.migratory_read_speedup = migratory_read_speedup
         # Stenstrom et al. [25] adaptive protocol: reads to migratory
@@ -204,6 +208,11 @@ class CoherentMemory:
         hook = self.dirty_hooks[node]
         return True if hook is None else hook(line)
 
+    def _downgrade_node(self, node: int, line: int) -> None:
+        hook = self.downgrade_hooks[node]
+        if hook is not None:
+            hook(line)
+
     # -- transactions --------------------------------------------------------
 
     def read(self, node: int, line: int, now: int, pc: int = 0
@@ -243,6 +252,7 @@ class CoherentMemory:
                     self.migratory_exclusive_grants += 1
                     return done, SVC_DIRTY, True
                 # Owner's copy is demoted to shared; memory has the data.
+                self._downgrade_node(owner, line)
                 e.state = DIR_SHARED
                 e.sharers = {owner, node}
                 e.owner = -1
@@ -253,6 +263,7 @@ class CoherentMemory:
                 self.stats.reads_local += 1
             else:
                 self.stats.reads_remote += 1
+            self._downgrade_node(owner, line)
             e.state = DIR_SHARED
             e.sharers = {owner, node}
             e.owner = -1
@@ -318,7 +329,9 @@ class CoherentMemory:
             self._invalidate_node(owner, line)
         elif e.state == DIR_SHARED and node in e.sharers:
             # Upgrade: ownership grant + invalidations, no data transfer.
-            for sharer in e.sharers - {node}:
+            # Sorted so invalidation-hook order never depends on set
+            # iteration order (repro lint R003).
+            for sharer in sorted(e.sharers - {node}):
                 self._invalidate_node(sharer, line)
             if node == home:
                 done = start + self.lat.local_read // 2
@@ -334,7 +347,7 @@ class CoherentMemory:
             else:
                 self.stats.writes_remote += 1
         else:
-            for sharer in e.sharers - {node}:
+            for sharer in sorted(e.sharers - {node}):
                 self._invalidate_node(sharer, line)
             done, svc = self._memory_latency(node, home, start)
             if svc == SVC_LOCAL:

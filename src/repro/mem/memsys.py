@@ -107,6 +107,7 @@ class NodeMemorySystem:
 
         coherent.invalidate_hooks[node_id] = self.external_invalidate
         coherent.dirty_hooks[node_id] = self.line_dirty
+        coherent.downgrade_hooks[node_id] = self.external_downgrade
 
         # Statistics.
         self.l1i_accesses = 0
@@ -381,15 +382,19 @@ class NodeMemorySystem:
         self._l2_next_free = start + self._l2_occupancy
         if exclusive:
             done, _svc = self.coherent.write(self.node_id, line, start, pc)
+            granted = True
         else:
-            done, _svc, _ = self._directory_read(line, start, pc)
+            # A read prefetch only confers write permission when the
+            # directory actually granted exclusive-clean (MESI E).
+            done, _svc, granted = self._directory_read(line, start, pc)
         self.l2_misses += not self.l2.lookup(line, touch=False)
         self.l2_accesses += 1
         self.l1d_mshrs.register(line, now, done, is_read=not exclusive,
-                                exclusive=exclusive)
+                                exclusive=granted)
         self.l2_mshrs.register(line, now, done, is_read=not exclusive,
-                               exclusive=exclusive)
-        self._writable.add(line)
+                               exclusive=granted)
+        if granted:
+            self._writable.add(line)
         self._fill_l2(line)
         victim = self.l1d.insert(line)
         if victim is not None and victim[1]:
@@ -416,6 +421,16 @@ class NodeMemorySystem:
     def line_dirty(self, line: int) -> bool:
         """Whether this node's copy of ``line`` is modified (M vs E)."""
         return self.l1d.is_dirty(line) or self.l2.is_dirty(line)
+
+    def external_downgrade(self, line: int) -> None:
+        """Ownership demotion: a remote read turned our exclusive copy
+        into a shared one.  The copy stays cached, but write permission
+        and the dirty bits go away -- a later store must re-acquire
+        ownership through the directory (without this, the old owner
+        could silently write a line other nodes now share)."""
+        self._writable.discard(line)
+        self.l1d.mark_clean(line)
+        self.l2.mark_clean(line)
 
     def external_invalidate(self, line: int) -> None:
         """Invalidation received from the directory."""

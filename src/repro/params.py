@@ -183,6 +183,10 @@ class SystemParams:
                                             # off migratory dirty-read latency
     migratory_protocol: bool = False        # Stenstrom-style adaptive
                                             # protocol (footnote 2 ablation)
+    check: bool = False                     # run the invariant sanitizer
+                                            # (repro.check); never affects
+                                            # timing, excluded from
+                                            # serialization/fingerprints
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:

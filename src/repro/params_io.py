@@ -38,6 +38,11 @@ _ENUMS = {
     "consistency_impl": ConsistencyImpl,
 }
 
+# Fields that configure tooling rather than the simulated machine; they
+# must not leak into saved configs or cache fingerprints (a sanitizer-on
+# run produces bit-identical results to a sanitizer-off run).
+_EPHEMERAL = {"check"}
+
 _NESTED = {
     "processor": ProcessorParams,
     "bpred": BranchPredictorParams,
@@ -55,6 +60,8 @@ def params_to_dict(params: SystemParams) -> Dict[str, Any]:
     """SystemParams -> plain JSON-serializable dict."""
     out: Dict[str, Any] = {}
     for field in dataclasses.fields(params):
+        if field.name in _EPHEMERAL:
+            continue
         value = getattr(params, field.name)
         if field.name in _ENUMS:
             out[field.name] = value.name

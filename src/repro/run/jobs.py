@@ -39,7 +39,10 @@ from repro.params_io import params_from_dict, params_to_dict
 from repro.trace.database import MigratoryHints
 
 #: Simulator-semantics version baked into every job fingerprint.
-MODEL_VERSION = 1
+#: 2: exclusive->shared demotions revoke the old owner's write
+#:    permission and dirty bits; read prefetches only confer write
+#:    permission on an actual exclusive grant.
+MODEL_VERSION = 2
 
 #: Workload kinds a spec can rebuild, with their default processes/CPU.
 _WORKLOAD_FACTORIES = {

@@ -79,6 +79,15 @@ class Machine:
         self.idle_cycles = 0
         self._measure_started_at = 0
 
+        # Opt-in runtime sanitizer (repro.check).  Attached last so it
+        # wraps fully-constructed components; with ``check`` off nothing
+        # is wrapped and the simulator runs the exact same code.
+        self.checker = None
+        if params.check:
+            from repro.check.invariants import InvariantChecker
+            self.checker = InvariantChecker(self)
+            self.checker.attach()
+
     # ---------------------------------------------------------------- schedule
 
     def _dispatch_if_idle(self, cpu: int) -> None:
@@ -151,6 +160,8 @@ class Machine:
                     f"no core can make progress at cycle {now}")
             now = max(now + 1, next_time)
             self.now = now
+        if self.checker is not None:
+            self.checker.check_run_end()
         return now - start_cycle
 
     # ---------------------------------------------------------------- statistics

@@ -1,0 +1,178 @@
+"""Tests for the AST determinism linter (``repro lint``)."""
+
+import os
+
+import pytest
+
+from repro.check.lint import (
+    RULES,
+    _FileLinter,
+    default_lint_root,
+    iter_python_files,
+    lint_paths,
+    run_lint,
+)
+
+
+def lint_source(source: str):
+    return _FileLinter("<test>", source).run()
+
+
+def codes(source: str):
+    return [v.code for v in lint_source(source)]
+
+
+class TestR001Random:
+    def test_module_level_call(self):
+        assert codes("import random\nx = random.randint(0, 5)\n") == ["R001"]
+
+    def test_unseeded_random_instance(self):
+        assert codes("import random\nrng = random.Random()\n") == ["R001"]
+
+    def test_seeded_instance_is_clean(self):
+        assert codes("import random\n"
+                     "rng = random.Random(42)\n"
+                     "value = rng.random()\n") == []
+
+    def test_from_import(self):
+        assert codes("from random import shuffle\nshuffle([1])\n") == ["R001"]
+
+    def test_import_alias(self):
+        assert codes("import random as rnd\nx = rnd.random()\n") == ["R001"]
+
+
+class TestR002WallClock:
+    def test_perf_counter(self):
+        assert codes("import time\nt = time.perf_counter()\n") == ["R002"]
+
+    def test_from_import_monotonic(self):
+        assert codes("from time import monotonic\nt = monotonic()\n") == \
+            ["R002"]
+
+    def test_datetime_now(self):
+        assert codes("from datetime import datetime\n"
+                     "d = datetime.now()\n") == ["R002"]
+
+    def test_time_sleep_is_clean(self):
+        assert codes("import time\ntime.sleep(0)\n") == []
+
+
+class TestR003SetIteration:
+    def test_for_loop_over_set(self):
+        assert codes("s = {1, 2}\nfor x in s:\n    pass\n") == ["R003"]
+
+    def test_comprehension_over_set(self):
+        assert codes("s = set()\nout = [x for x in s]\n") == ["R003"]
+
+    def test_list_of_set(self):
+        assert codes("s = {1}\nout = list(s)\n") == ["R003"]
+
+    def test_set_difference_via_attribute(self):
+        source = (
+            "class A:\n"
+            "    def __init__(self):\n"
+            "        self.sharers: set = set()\n"
+            "    def go(self, entry, node):\n"
+            "        for s in entry.sharers - {node}:\n"
+            "            pass\n")
+        assert codes(source) == ["R003"]
+
+    def test_sorted_wrapping_is_clean(self):
+        assert codes("s = {1}\nfor x in sorted(s):\n    pass\n") == []
+
+    def test_membership_and_len_are_clean(self):
+        assert codes("s = {1}\nok = 1 in s\nn = len(s)\n") == []
+
+
+class TestR004CycleDivision:
+    def test_division_into_cycle_name(self):
+        assert codes("done_at = x / y\n") == ["R004"]
+
+    def test_division_into_now(self):
+        assert codes("now = 0\nnow = now + total / 3\n") == ["R004"]
+
+    def test_augmented_division(self):
+        assert codes("latency = 4\nlatency /= 2\n") == ["R004"]
+
+    def test_int_wrap_is_clean(self):
+        assert codes("done_at = int(x / y)\n") == []
+
+    def test_floor_division_is_clean(self):
+        assert codes("cycles = a // b\n") == []
+
+    def test_non_cycle_name_is_clean(self):
+        assert codes("fraction = hits / total\n") == []
+
+
+class TestR005SpecFields:
+    def test_foreign_type_flagged(self):
+        source = ("class JobSpec:\n"
+                  "    instructions: int\n"
+                  "    machine: Machine\n")
+        violations = lint_source(source)
+        assert [v.code for v in violations] == ["R005"]
+        assert "Machine" in violations[0].message
+
+    def test_allowed_types_clean(self):
+        source = ("class WorkloadSpec:\n"
+                  "    kind: str\n"
+                  "    hints: MigratoryHints\n"
+                  "    extra: Optional[Dict[str, float]]\n")
+        assert codes(source) == []
+
+    def test_other_classes_ignored(self):
+        assert codes("class Anything:\n    machine: Machine\n") == []
+
+
+class TestSuppressions:
+    def test_line_pragma(self):
+        assert codes("import time\n"
+                     "t = time.perf_counter()  "
+                     "# repro-lint: disable=R002\n") == []
+
+    def test_line_pragma_wrong_code_does_not_hide(self):
+        assert codes("import time\n"
+                     "t = time.perf_counter()  "
+                     "# repro-lint: disable=R001\n") == ["R002"]
+
+    def test_file_pragma(self):
+        assert codes("# repro-lint: disable-file=R003\n"
+                     "s = {1}\nfor x in s:\n    pass\n") == []
+
+    def test_disable_all(self):
+        assert codes("import time\n"
+                     "t = time.perf_counter()  "
+                     "# repro-lint: disable=all\n") == []
+
+
+class TestDriver:
+    def test_repro_package_is_clean(self):
+        violations, checked = lint_paths([default_lint_root()])
+        assert checked > 40
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_file_order_is_deterministic(self):
+        root = default_lint_root()
+        first = list(iter_python_files([root]))
+        second = list(iter_python_files([root]))
+        assert first == second
+        # within each directory the filenames come out sorted
+        assert first.index(root + os.sep + "cli.py") < \
+            first.index(root + os.sep + "params.py")
+
+    def test_run_lint_counts(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert run_lint([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "bad.py" in out
+
+    def test_violation_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("done = a / b\n")
+        violations, _ = lint_paths([str(bad)])
+        text = str(violations[0])
+        assert text.startswith(str(bad) + ":1: R004")
+
+    def test_rule_catalog(self):
+        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005"}

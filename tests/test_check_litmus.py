@@ -1,0 +1,71 @@
+"""Consistency litmus matrix: every model/implementation combination
+must forbid or allow exactly the outcomes the paper's models define."""
+
+import pytest
+
+from repro.check.litmus import (
+    message_passing,
+    migratory_handoff,
+    run_litmus_suite,
+    store_buffering,
+)
+from repro.params import ConsistencyImpl, ConsistencyModel
+
+MODELS = (ConsistencyModel.SC, ConsistencyModel.PC, ConsistencyModel.RC)
+IMPLS = (ConsistencyImpl.STRAIGHTFORWARD, ConsistencyImpl.PREFETCH,
+         ConsistencyImpl.SPECULATIVE)
+
+
+@pytest.mark.parametrize("impl", IMPLS, ids=lambda i: i.name.lower())
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name.lower())
+class TestMatrix:
+    def test_message_passing(self, model, impl):
+        result = message_passing(model, impl, check=True)
+        assert result.passed, result.detail
+
+    def test_store_buffering(self, model, impl):
+        result = store_buffering(model, impl, check=True)
+        assert result.passed, result.detail
+
+
+class TestMessagePassingSemantics:
+    def test_rc_reorders_flag_before_data(self):
+        """Under RC the flag store drains from the store buffer ahead of
+        the slower data store -- the witnessed reordering."""
+        result = message_passing(ConsistencyModel.RC,
+                                 ConsistencyImpl.STRAIGHTFORWARD)
+        assert result.observed and result.allowed
+
+    def test_sc_keeps_program_order(self):
+        result = message_passing(ConsistencyModel.SC,
+                                 ConsistencyImpl.STRAIGHTFORWARD)
+        assert not result.observed and not result.allowed
+
+
+class TestStoreBufferingSemantics:
+    def test_pc_allows_dekker_failure(self):
+        result = store_buffering(ConsistencyModel.PC,
+                                 ConsistencyImpl.STRAIGHTFORWARD)
+        assert result.observed and result.allowed
+
+    def test_sc_speculative_rolls_back(self):
+        """SC with speculative loads must still forbid the relaxed
+        outcome (the R10000-style rollback re-performs the load)."""
+        result = store_buffering(ConsistencyModel.SC,
+                                 ConsistencyImpl.SPECULATIVE)
+        assert not result.observed and not result.allowed
+
+
+class TestMigratory:
+    @pytest.mark.parametrize("protocol", [False, True],
+                             ids=["base", "adaptive"])
+    def test_handoff_detected(self, protocol):
+        result = migratory_handoff(protocol)
+        assert result.passed, result.detail
+
+
+def test_full_suite_shape():
+    results = run_litmus_suite(check=True)
+    assert len(results) == 20
+    assert all(r.passed for r in results), \
+        "\n".join(str(r) for r in results if not r.passed)

@@ -42,3 +42,50 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             cli.main(["--quick"])
+
+    def test_cache_dir_flag(self, tmp_path):
+        target = tmp_path / "elsewhere"
+        assert cli.main(["--cache-dir", str(target), "--quick",
+                         "characterize"]) == 0
+        assert target.is_dir() and any(target.iterdir())
+
+
+class TestCheckCommands:
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        assert cli.main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_violations_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert cli.main(["lint", str(bad)]) == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert cli.main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R001", "R002", "R003", "R004", "R005"):
+            assert code in out
+
+    def test_check_exit_codes(self, monkeypatch):
+        # The real suite runs in CI and tests/test_check_*; here we only
+        # assert the CLI turns the suite verdict into the exit status.
+        import repro.check
+        monkeypatch.setattr(repro.check, "run_check_suite",
+                            lambda verbose, self_test: True)
+        assert cli.main(["check"]) == 0
+        monkeypatch.setattr(repro.check, "run_check_suite",
+                            lambda verbose, self_test: False)
+        assert cli.main(["check", "--skip-mutations"]) == 1
+
+    def test_validate_exit_codes(self, monkeypatch):
+        import repro.core.validation as validation
+        from repro.core.validation import ValidationResult
+        monkeypatch.setattr(
+            validation, "run_all",
+            lambda verbose: [ValidationResult("x", True, "ok")])
+        assert cli.main(["validate"]) == 0
+        monkeypatch.setattr(
+            validation, "run_all",
+            lambda verbose: [ValidationResult("x", False, "bad")])
+        assert cli.main(["validate"]) == 1
