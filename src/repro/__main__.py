@@ -1,7 +1,16 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    code = main()
+except BrokenPipeError:
+    # Downstream consumer (e.g. ``repro sweep-status | head``) closed
+    # the pipe; exit quietly like any well-behaved CLI.  Point stdout at
+    # devnull so the interpreter's shutdown flush does not raise again.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

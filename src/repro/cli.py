@@ -5,6 +5,7 @@ Usage::
     python -m repro characterize [--quick]      # in-text tables
     python -m repro figure 2a|2b|2c|3a|3b|3c|4|5|6|7a|7b [oltp|dss] [--quick]
     python -m repro report [--quick]            # everything, in order
+    python -m repro sweep-status                # manifest progress, no sims
     python -m repro validate                    # internal consistency checks
     python -m repro check [--skip-mutations]    # litmus + sanitizer suite
     python -m repro lint [paths...]             # determinism linter
@@ -26,6 +27,28 @@ Runner options (accepted before or after the subcommand):
 ``--cache-dir DIR``
     Put the result cache at ``DIR`` instead of the default location
     (equivalent to ``REPRO_CACHE_DIR``, but per-invocation).
+
+Resilience options (accepted before or after the subcommand):
+
+``--retries N``
+    Retry each failing job up to ``N`` extra times with deterministic
+    exponential backoff before recording it as failed (default 2).
+    Jobs that exhaust their retries render as explicit gaps; the sweep
+    keeps going.
+``--job-timeout SECONDS``
+    Abandon and retry any single attempt running longer than this
+    (default: unlimited).  On the process pool the attempt is cancelled
+    outright; serially it is discarded after the fact.
+``--resume``
+    Continue an interrupted sweep: keep the completed entries of the
+    sweep manifest (written next to the cache) and execute only the
+    incomplete remainder.  ``repro sweep-status`` prints the manifest
+    without running anything.
+
+Deterministic fault injection for exercising all of the above is
+enabled with ``REPRO_FAULTS=crash:0.2,hang:0.1,corrupt:0.1,seed:7``
+(see ``repro.run.faults``); injected faults are host-side only and
+never change simulated cycle counts.
 """
 
 from __future__ import annotations
@@ -61,6 +84,9 @@ def cmd_characterize(quick: bool) -> None:
     print("== In-text characterization ==")
     for name, row in table.items():
         print(f"  {name.upper()}:")
+        if row is None:
+            print("    FAILED (job exhausted retries; see sweep-status)")
+            continue
         for key, value in row.items():
             print(f"    {key:<36s} {value:.3f}")
 
@@ -102,6 +128,10 @@ def cmd_figure(which: str, workload: Optional[str], quick: bool) -> None:
 
 
 def cmd_report(quick: bool) -> None:
+    manifest = run.shared_manifest()
+    if manifest is not None and run.runner_state().resume \
+            and len(manifest):
+        print(f"resuming: {manifest.format_summary()}")
     cmd_characterize(quick)
     print()
     for which, workload in (("2a", None), ("2b", None), ("2c", None),
@@ -113,6 +143,22 @@ def cmd_report(quick: bool) -> None:
     cache = run.shared_cache()
     if cache is not None:
         print(cache.format_stats())
+    if manifest is not None:
+        print(manifest.format_summary())
+
+
+def cmd_sweep_status() -> int:
+    """Print manifest progress without running any simulation."""
+    manifest = run.shared_manifest()
+    if manifest is None:
+        print("sweep-status: result cache disabled, no manifest")
+        return 1
+    print(f"manifest: {manifest.path}")
+    print(manifest.format_status())
+    cache = run.shared_cache()
+    if cache is not None:
+        print(cache.format_stats())
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -133,6 +179,19 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="DIR",
                         help="result cache location (default: "
                              "$REPRO_CACHE_DIR or .repro-cache/)")
+    common.add_argument("--retries", type=int, default=argparse.SUPPRESS,
+                        metavar="N",
+                        help="extra attempts per failed job before "
+                             "recording it as a gap (default 2)")
+    common.add_argument("--job-timeout", type=float,
+                        default=argparse.SUPPRESS, metavar="SECONDS",
+                        help="abandon and retry any attempt running "
+                             "longer than this (default: unlimited)")
+    common.add_argument("--resume", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="continue an interrupted sweep from its "
+                             "manifest; only the incomplete remainder "
+                             "executes")
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      parents=[common])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -141,6 +200,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("which")
     fig.add_argument("workload", nargs="?", choices=["oltp", "dss"])
     sub.add_parser("report", parents=[common])
+    sub.add_parser(
+        "sweep-status", parents=[common],
+        help="print sweep-manifest progress without simulating")
     sub.add_parser("validate", parents=[common])
     check = sub.add_parser(
         "check", parents=[common],
@@ -165,7 +227,10 @@ def main(argv=None) -> int:
     run.configure(jobs=getattr(args, "jobs", None) or run.default_jobs(),
                   use_cache=not no_cache,
                   cache_dir=(None if no_cache
-                             else getattr(args, "cache_dir", None)))
+                             else getattr(args, "cache_dir", None)),
+                  retries=getattr(args, "retries", None),
+                  job_timeout=getattr(args, "job_timeout", None),
+                  resume=getattr(args, "resume", None))
 
     if args.command == "lint":
         from repro.check.lint import RULES, run_lint
@@ -179,6 +244,8 @@ def main(argv=None) -> int:
         ok = run_check_suite(verbose=True,
                              self_test=not args.skip_mutations)
         return 0 if ok else 1
+    if args.command == "sweep-status":
+        return cmd_sweep_status()
     if args.command == "characterize":
         cmd_characterize(quick)
     elif args.command == "figure":

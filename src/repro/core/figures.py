@@ -52,7 +52,13 @@ class FigureRow:
 
 @dataclass
 class FigureResult:
-    """All bars of one figure (or one part of a multi-part figure)."""
+    """All bars of one figure (or one part of a multi-part figure).
+
+    Configurations whose job exhausted its retries are *gaps*: they get
+    no :class:`FigureRow` but are listed (label -> error text) in
+    ``extras["failed"]`` and rendered as explicit ``FAILED`` lines, so a
+    partially-failed sweep still produces every bar it can.
+    """
 
     figure_id: str
     title: str
@@ -68,11 +74,21 @@ class FigureResult:
     def normalized(self, label: str) -> float:
         return self.row(label).normalized
 
+    @property
+    def failed(self) -> Dict[str, str]:
+        """Labels that produced no bar, with their last error text."""
+        return self.extras.get("failed", {})
+
+    def mark_failed(self, label: str, error: str) -> None:
+        self.extras.setdefault("failed", {})[label] = error
+
     def format_table(self) -> str:
         lines = [f"== {self.figure_id}: {self.title} =="]
         for row in self.rows:
             lines.append(row.result.breakdown.format_bar(
                 row.label, scale=row.normalized))
+        for label, error in self.failed.items():
+            lines.append(f"{label:<24s} FAILED: {error}")
         return "\n".join(lines)
 
 
@@ -114,8 +130,15 @@ def _sweep(configs: List[Tuple[str, SystemParams]], workload_name: str,
     report = run_many(specs)
     out = FigureResult(figure_id, title)
     base_time = None
-    for (label, _params), result in zip(configs, report.results):
+    for (label, _params), outcome in zip(configs, report.outcomes):
+        if outcome.failed:
+            # Explicit gap: the sweep survived this job's failure, and
+            # the figure says so instead of silently renumbering bars.
+            out.mark_failed(label, outcome.error)
+            continue
+        result = outcome.result
         if base_time is None:
+            # Normalize to the first *surviving* configuration.
             base_time = result.execution_time
         out.rows.append(FigureRow(label, result,
                                   result.execution_time / base_time))
@@ -181,6 +204,8 @@ def figure_ilp_mshrs(workload_name: str, instructions: int = None,
     out = _sweep(configs, workload_name, fig,
                  f"{workload_name.upper()}: outstanding misses (MSHRs)",
                  instructions, warmup, seed)
+    if not out.rows or out.rows[-1].label != f"mshr-{counts[-1]}":
+        return out  # the occupancy-rich run failed; keep the gap visible
     rich = out.rows[-1].result  # the 8-MSHR run has full occupancy stats
     out.extras["l1d_occupancy_all"] = rich.l1d_mshr.distribution()
     out.extras["l1d_occupancy_reads"] = rich.l1d_mshr.distribution(
@@ -247,8 +272,12 @@ def figure5(workload_name: str, instructions: int = None,
                      warmup=max(2000, int(5 * warmup * scale)), seed=seed)
              for _label, params, scale in labelled]
     report = run_many(specs)
-    for (label, _params, _scale), result in zip(labelled, report.results):
-        out.rows.append(FigureRow(label, result, 1.0))
+    for (label, _params, _scale), outcome in zip(labelled,
+                                                 report.outcomes):
+        if outcome.failed:
+            out.mark_failed(label, outcome.error)
+            continue
+        out.rows.append(FigureRow(label, outcome.result, 1.0))
     return out
 
 
@@ -322,7 +351,12 @@ def figure7b(instructions: int = None, warmup: int = None,
              for _label, params, hints in variants]
     report = run_many(specs)
     base_time = None
-    for (label, _params, _hints), result in zip(variants, report.results):
+    for (label, _params, _hints), outcome in zip(variants,
+                                                 report.outcomes):
+        if outcome.failed:
+            out.mark_failed(label, outcome.error)
+            continue
+        result = outcome.result
         if base_time is None:
             base_time = result.execution_time
         out.rows.append(FigureRow(label, result,
@@ -335,9 +369,14 @@ def figure7b(instructions: int = None, warmup: int = None,
 # ---------------------------------------------------------------------------
 
 def characterization_table(instructions: int = None, warmup: int = None,
-                           seed: int = 0) -> Dict[str, Dict[str, float]]:
+                           seed: int = 0
+                           ) -> Dict[str, Optional[Dict[str, float]]]:
     """The paper's in-text characterization: miss rates, IPC, branch
-    misprediction, and migratory sharing statistics for both workloads."""
+    misprediction, and migratory sharing statistics for both workloads.
+
+    A workload whose job exhausted its retries maps to ``None`` (an
+    explicit gap) instead of aborting the other workload's row.
+    """
     out = {}
     names = ("oltp", "dss")
     specs = []
@@ -348,6 +387,9 @@ def characterization_table(instructions: int = None, warmup: int = None,
                              seed=seed))
     report = run_many(specs)
     for name, result in zip(names, report.results):
+        if result is None:
+            out[name] = None
+            continue
         sharing = sharing_characterization(result.coherence)
         out[name] = {
             "ipc": result.ipc,

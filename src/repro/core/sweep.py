@@ -21,10 +21,16 @@ from repro.run import JobSpec, WorkloadSpec, run_many
 
 @dataclass
 class SweepResult:
-    """Execution times of one configuration across seeds."""
+    """Execution times of one configuration across seeds.
+
+    ``failures`` counts seeds whose job exhausted its retries (see
+    :class:`repro.run.RetryPolicy`); their cycles are absent from
+    ``cycles`` and the statistics are over the surviving seeds.
+    """
 
     label: str
     cycles: List[int]
+    failures: int = 0
 
     @property
     def mean(self) -> float:
@@ -38,8 +44,11 @@ class SweepResult:
         return (max(self.cycles) - min(self.cycles)) / (2 * self.mean)
 
     def __str__(self) -> str:
-        return (f"{self.label}: mean {self.mean:,.0f} cycles "
+        text = (f"{self.label}: mean {self.mean:,.0f} cycles "
                 f"(+/- {self.spread:.1%} over {len(self.cycles)} seeds)")
+        if self.failures:
+            text += f" [{self.failures} seed(s) FAILED]"
+        return text
 
 
 def seed_sweep(params: SystemParams,
@@ -62,7 +71,15 @@ def seed_sweep(params: SystemParams,
         specs = [JobSpec(params, wspec, instructions=instructions,
                          warmup=warmup, seed=seed) for seed in seeds]
         report = run_many(specs, jobs=jobs)
-        return SweepResult(label, [r.cycles for r in report.results])
+        failures = report.failures
+        if len(failures) == len(specs):
+            raise RuntimeError(
+                f"seed sweep {label!r}: every seed failed "
+                f"(last error: {failures[-1].error})")
+        return SweepResult(label,
+                           [r.cycles for r in report.results
+                            if r is not None],
+                           failures=len(failures))
     cycles = []
     for seed in seeds:
         result = run_simulation(params, make_workload(),

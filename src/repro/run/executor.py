@@ -1,4 +1,4 @@
-"""Fan-out executor for independent simulation jobs.
+"""Fault-isolating fan-out executor for independent simulation jobs.
 
 :func:`run_many` takes a list of :class:`~repro.run.jobs.JobSpec` and
 returns their results *in input order*, regardless of completion order,
@@ -13,15 +13,28 @@ for.  Dispatch policy:
   ``fork``/semaphores, interpreter shutdown), the executor falls back to
   the serial path instead of failing the sweep.
 
+Failures are isolated **per job**: an attempt that raises any exception
+is retried up to :attr:`RetryPolicy.retries` times with deterministic
+exponential backoff, an attempt that exceeds
+:attr:`RetryPolicy.job_timeout` is abandoned and retried, and only a job
+that exhausts its retries is reported as a *failed*
+:class:`JobOutcome` (``result=None``) -- the rest of the sweep keeps
+going.  Progress is journalled through an optional
+:class:`~repro.run.manifest.SweepManifest` so interrupted sweeps resume
+from the incomplete remainder.
+
 Workers receive the plain-dict encoding of the spec and return the
 plain-dict encoding of the result, so nothing that crosses the process
-boundary depends on picklability of live simulator state.  Per-job wall
-time and simulated-instruction throughput are recorded in the returned
-:class:`RunReport`.
+boundary depends on picklability of live simulator state.  None of the
+resilience machinery touches simulated state: retries re-run the same
+deterministic simulation, so a sweep that survives injected faults
+produces byte-identical results to a fault-free run.
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -29,28 +42,95 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.experiment import SimulationResult
 from repro.run.cache import ResultCache
+from repro.run.faults import plan_from_env
 from repro.run.jobs import JobSpec
+from repro.run.manifest import SweepManifest
 
 
-def _execute_payload(payload: Dict[str, Any]
+def _execute_payload(payload: Dict[str, Any], attempt: int = 0
                      ) -> Tuple[Dict[str, Any], float]:
-    """Worker entry point: rebuild the job, run it, ship the result back."""
+    """Worker entry point: rebuild the job, run it, ship the result back.
+
+    Fault injection (``REPRO_FAULTS``) happens here, *before* the
+    simulation runs, so an injected crash or hang never perturbs
+    simulated state -- a retried attempt recomputes the identical
+    result.
+    """
     spec = JobSpec.from_dict(payload)
     # Host-side wall time for throughput reporting only; never feeds
-    # simulated state.
+    # simulated state.  The clock starts before fault injection so an
+    # injected hang is charged to the attempt, like any real stall.
     start = time.perf_counter()  # repro-lint: disable=R002
+    plan = plan_from_env()
+    if plan is not None:
+        fingerprint = spec.fingerprint()
+        plan.maybe_crash(fingerprint, attempt)
+        plan.maybe_hang(fingerprint, attempt)
     result = spec.run()
     return result.to_dict(), time.perf_counter() - start  # repro-lint: disable=R002
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-job failure handling knobs for :func:`run_many`.
+
+    ``retries`` is the number of *additional* attempts after the first
+    failure; ``job_timeout`` (seconds, ``None`` = unlimited) bounds one
+    attempt's wall time.  On the process pool an overdue attempt is
+    abandoned (the worker is left to drain) and retried; on the serial
+    path the attempt cannot be interrupted, so the timeout is enforced
+    post-hoc -- an over-budget attempt is discarded and retried, giving
+    both paths the same observable semantics.
+
+    Backoff between attempts is exponential with a deterministic
+    fingerprint-derived jitter -- no wall-clock or global RNG feeds the
+    schedule, so two runs of the same sweep back off identically.
+    """
+
+    retries: int = 2
+    job_timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def backoff_delay(self, fingerprint: str, attempt: int) -> float:
+        """Seconds to wait before attempt ``attempt`` (1-based retry)."""
+        if attempt <= 0:
+            return 0.0
+        exponential = min(self.backoff_cap,
+                          self.backoff_base * (2 ** (attempt - 1)))
+        token = f"backoff:{fingerprint}:{attempt}"
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return exponential * (0.5 + unit / 2)
+
+    def deadline_for(self, started: float) -> float:
+        if self.job_timeout is None:
+            return math.inf
+        return started + self.job_timeout
+
+
+#: Library default: a couple of retries, no timeout (opt-in via CLI).
+DEFAULT_POLICY = RetryPolicy()
+
+
 @dataclass
 class JobOutcome:
-    """One job's result plus execution accounting."""
+    """One job's result plus execution accounting.
+
+    ``result`` is ``None`` -- and :attr:`failed` true -- when the job
+    exhausted its retries; ``error`` then holds the last failure text.
+    """
 
     spec: JobSpec
-    result: SimulationResult
+    result: Optional[SimulationResult]
     wall_time: float      # seconds spent simulating (0.0 for cache hits)
     cached: bool = False
+    attempts: int = 1     # executed attempts (0 for cache hits)
+    error: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.result is None
 
 
 @dataclass
@@ -63,7 +143,8 @@ class RunReport:
     fell_back_to_serial: bool = False
 
     @property
-    def results(self) -> List[SimulationResult]:
+    def results(self) -> List[Optional[SimulationResult]]:
+        """Results in input order (``None`` for failed jobs)."""
         return [o.result for o in self.outcomes]
 
     @property
@@ -75,10 +156,20 @@ class RunReport:
         return len(self.outcomes) - self.cache_hits
 
     @property
+    def failures(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if o.failed]
+
+    @property
+    def retried(self) -> int:
+        """Jobs that needed more than one attempt."""
+        return sum(1 for o in self.outcomes if o.attempts > 1)
+
+    @property
     def simulated_instructions(self) -> int:
         """Instructions actually simulated (cache hits cost nothing)."""
         return sum(o.spec.instructions + o.spec.warmup
-                   for o in self.outcomes if not o.cached)
+                   for o in self.outcomes
+                   if not o.cached and not o.failed)
 
     @property
     def throughput(self) -> float:
@@ -88,9 +179,14 @@ class RunReport:
         return self.simulated_instructions / self.wall_time
 
     def format_summary(self) -> str:
-        return (f"{len(self.outcomes)} jobs ({self.cache_hits} cached) in "
+        text = (f"{len(self.outcomes)} jobs ({self.cache_hits} cached) in "
                 f"{self.wall_time:.2f}s with {self.jobs} worker(s), "
                 f"{self.throughput:,.0f} simulated instr/s")
+        if self.retried:
+            text += f", {self.retried} retried"
+        if self.failures:
+            text += f", {len(self.failures)} FAILED"
+        return text
 
 
 def default_jobs() -> int:
@@ -101,67 +197,273 @@ def default_jobs() -> int:
         return 1
 
 
+def _failure_text(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _serial_attempt(spec: JobSpec, attempt: int
+                    ) -> Tuple[SimulationResult, float]:
+    """One in-process attempt, with the same fault hooks as a worker.
+
+    The clock starts before fault injection: the serial path enforces
+    ``job_timeout`` post-hoc from this elapsed time, so a hang must be
+    charged to the attempt for the timeout to ever trip.
+    """
+    start = time.perf_counter()  # repro-lint: disable=R002
+    plan = plan_from_env()
+    if plan is not None:
+        fingerprint = spec.fingerprint()
+        plan.maybe_crash(fingerprint, attempt)
+        plan.maybe_hang(fingerprint, attempt)
+    result = spec.run()
+    return result, time.perf_counter() - start  # repro-lint: disable=R002
+
+
+def _finish(spec: JobSpec, result: SimulationResult, elapsed: float,
+            attempts: int, cache: Optional[ResultCache],
+            manifest: Optional[SweepManifest]) -> JobOutcome:
+    """Record a successful completion (cache write is best-effort)."""
+    if cache is not None:
+        cache.put(spec, result)
+    if manifest is not None:
+        manifest.mark_done(spec.fingerprint())
+    return JobOutcome(spec, result, elapsed, attempts=attempts)
+
+
+def _fail(spec: JobSpec, error: str, elapsed: float, attempts: int,
+          manifest: Optional[SweepManifest]) -> JobOutcome:
+    """Record a job that exhausted its retries; the sweep continues."""
+    if manifest is not None:
+        manifest.mark_failed(spec.fingerprint(), error)
+    return JobOutcome(spec, None, elapsed, attempts=attempts, error=error)
+
+
 def _run_serial(pending: Sequence[Tuple[int, JobSpec]],
                 cache: Optional[ResultCache],
-                outcomes: List[Optional[JobOutcome]]) -> None:
+                outcomes: List[Optional[JobOutcome]],
+                policy: RetryPolicy = DEFAULT_POLICY,
+                manifest: Optional[SweepManifest] = None) -> None:
     for index, spec in pending:
-        start = time.perf_counter()  # repro-lint: disable=R002
-        result = spec.run()
-        elapsed = time.perf_counter() - start  # repro-lint: disable=R002
-        if cache is not None:
-            cache.put(spec, result)
-        outcomes[index] = JobOutcome(spec, result, elapsed)
+        outcomes[index] = _run_one_serial(spec, cache, policy, manifest)
+
+
+def _run_one_serial(spec: JobSpec, cache: Optional[ResultCache],
+                    policy: RetryPolicy,
+                    manifest: Optional[SweepManifest]) -> JobOutcome:
+    fingerprint = spec.fingerprint()
+    total_elapsed = 0.0
+    error = ""
+    for attempt in range(policy.retries + 1):
+        if attempt:
+            time.sleep(policy.backoff_delay(fingerprint, attempt))
+        if manifest is not None:
+            manifest.mark_running(fingerprint)
+        try:
+            result, elapsed = _serial_attempt(spec, attempt)
+        except Exception as exc:   # noqa: BLE001 -- per-job isolation
+            error = _failure_text(exc)
+            if manifest is not None and attempt < policy.retries:
+                manifest.mark_retrying(fingerprint, error)
+            continue
+        total_elapsed += elapsed
+        if policy.job_timeout is not None and elapsed > policy.job_timeout:
+            # The serial path cannot interrupt a running attempt, so the
+            # timeout is enforced after the fact: discard and retry,
+            # matching the pool's observable behaviour.
+            error = (f"timeout: attempt took {elapsed:.2f}s "
+                     f"(limit {policy.job_timeout:.2f}s)")
+            if manifest is not None and attempt < policy.retries:
+                manifest.mark_retrying(fingerprint, error)
+            continue
+        return _finish(spec, result, total_elapsed, attempt + 1, cache,
+                       manifest)
+    return _fail(spec, error, total_elapsed, policy.retries + 1, manifest)
 
 
 def _run_pool(pending: Sequence[Tuple[int, JobSpec]], jobs: int,
               cache: Optional[ResultCache],
-              outcomes: List[Optional[JobOutcome]]) -> bool:
-    """Run misses on a process pool; ``False`` if the pool was unusable."""
+              outcomes: List[Optional[JobOutcome]],
+              policy: RetryPolicy = DEFAULT_POLICY,
+              manifest: Optional[SweepManifest] = None) -> bool:
+    """Run misses on a process pool; ``False`` if the pool was unusable.
+
+    Scheduling is slot-limited (at most ``jobs`` in-flight submissions)
+    so a submitted job starts essentially immediately and its deadline
+    can be measured from submission.  An overdue future is abandoned --
+    the worker keeps draining in the background as a *zombie* occupying
+    one slot until its bounded work finishes -- and the job is retried.
+    If zombies ever occupy every slot the pool is recycled wholesale.
+    Job-level exceptions are consumed per future; only pool-level
+    breakage (no semaphores, dead workers) aborts to the serial
+    fallback, which re-runs exactly the jobs without an outcome.
+    """
     try:
+        from concurrent.futures import FIRST_COMPLETED, wait
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
     except ImportError:                                # pragma: no cover
         return False
+
     try:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [(index, spec,
-                        pool.submit(_execute_payload, spec.to_dict()))
-                       for index, spec in pending]
-            for index, spec, future in futures:
-                result_dict, elapsed = future.result()
-                result = SimulationResult.from_dict(result_dict)
-                if cache is not None:
-                    cache.put(spec, result)
-                outcomes[index] = JobOutcome(spec, result, elapsed)
-    except (OSError, PermissionError, BrokenProcessPool, RuntimeError):
+        pool = ProcessPoolExecutor(max_workers=jobs)
+    except (OSError, PermissionError, RuntimeError):
         return False
-    return True
+
+    # Jobs waiting to (re)submit: (not-before time, index, spec, attempt,
+    # elapsed-so-far, last error).  `active` maps future -> submission
+    # record; `zombies` holds abandoned futures still draining a worker.
+    queue: List[Tuple[float, int, JobSpec, int, float, str]] = []
+    active: Dict[Any, Tuple[int, JobSpec, int, float, float]] = {}
+    zombies: List[Any] = []
+    now = time.perf_counter()  # repro-lint: disable=R002
+    for index, spec in pending:
+        queue.append((now, index, spec, 0, 0.0, ""))
+
+    def settle(index: int, spec: JobSpec, attempt: int, elapsed: float,
+               error: str, at: float) -> None:
+        """Failed attempt: schedule a retry or record the failure."""
+        if attempt < policy.retries:
+            if manifest is not None:
+                manifest.mark_retrying(spec.fingerprint(), error)
+            delay = policy.backoff_delay(spec.fingerprint(), attempt + 1)
+            queue.append((at + delay, index, spec, attempt + 1, elapsed,
+                          error))
+        else:
+            outcomes[index] = _fail(spec, error, elapsed, attempt + 1,
+                                    manifest)
+
+    try:
+        while queue or active:
+            now = time.perf_counter()  # repro-lint: disable=R002
+            zombies = [future for future in zombies if not future.done()]
+
+            # Submit ready work while slots are free.
+            free = jobs - len(active) - len(zombies)
+            if free > 0 and queue:
+                queue.sort(key=lambda item: item[0])
+                held = []
+                for item in queue:
+                    not_before, index, spec, attempt, elapsed, error = item
+                    if free > 0 and not_before <= now:
+                        if manifest is not None:
+                            manifest.mark_running(spec.fingerprint())
+                        future = pool.submit(_execute_payload,
+                                             spec.to_dict(), attempt)
+                        active[future] = (index, spec, attempt, elapsed,
+                                          policy.deadline_for(now))
+                        free -= 1
+                    else:
+                        held.append(item)
+                queue = held
+
+            # Every slot wedged on an abandoned attempt: recycle the
+            # pool so pending retries are not starved forever.
+            if len(zombies) >= jobs and (queue or active):
+                pool.shutdown(wait=False, cancel_futures=True)
+                for future, (index, spec, attempt, elapsed,
+                             _deadline) in active.items():
+                    # Innocent in-flight jobs requeue at the same
+                    # attempt; they were not at fault.
+                    queue.append((now, index, spec, attempt, elapsed, ""))
+                active.clear()
+                zombies = []
+                try:
+                    pool = ProcessPoolExecutor(max_workers=jobs)
+                except (OSError, PermissionError, RuntimeError):
+                    return False
+                continue
+
+            if not active:
+                if not queue:
+                    break
+                # Everything is backing off; sleep until the earliest.
+                wake_at = min(item[0] for item in queue)
+                time.sleep(max(0.01, min(wake_at - now, 0.5)))
+                continue
+
+            # Wake on first completion, next deadline, or next retry.
+            horizon = min(record[4] for record in active.values())
+            if queue:
+                horizon = min(horizon, min(item[0] for item in queue))
+            wait_for = None if horizon == math.inf \
+                else max(0.0, min(horizon - now, 0.5))
+            done, _ = wait(list(active), timeout=wait_for,
+                           return_when=FIRST_COMPLETED)
+
+            for future in done:
+                index, spec, attempt, elapsed, _deadline = \
+                    active.pop(future)
+                at = time.perf_counter()  # repro-lint: disable=R002
+                try:
+                    result_dict, attempt_time = future.result()
+                except BrokenProcessPool:
+                    # Pool-level breakage: bail out; the serial fallback
+                    # re-runs every job that has no outcome yet.
+                    return False
+                except Exception as exc:  # noqa: BLE001 -- per-future
+                    settle(index, spec, attempt, elapsed,
+                           _failure_text(exc), at)
+                else:
+                    result = SimulationResult.from_dict(result_dict)
+                    outcomes[index] = _finish(
+                        spec, result, elapsed + attempt_time, attempt + 1,
+                        cache, manifest)
+
+            # Abandon overdue attempts and retry them.
+            now = time.perf_counter()  # repro-lint: disable=R002
+            for future in [f for f, record in active.items()
+                           if record[4] <= now]:
+                index, spec, attempt, elapsed, _deadline = \
+                    active.pop(future)
+                if not future.cancel():
+                    zombies.append(future)
+                settle(index, spec, attempt, elapsed,
+                       f"timeout: attempt exceeded "
+                       f"{policy.job_timeout:.2f}s", now)
+        return True
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_many(specs: Sequence[JobSpec], jobs: Optional[int] = None,
-             cache: Optional[ResultCache] = None) -> RunReport:
+             cache: Optional[ResultCache] = None,
+             policy: Optional[RetryPolicy] = None,
+             manifest: Optional[SweepManifest] = None,
+             resume: Optional[bool] = None) -> RunReport:
     """Execute ``specs`` and return a report with results in input order.
 
-    ``jobs=None`` uses the configured default (see
-    :func:`repro.run.configure` / ``REPRO_JOBS``); ``cache=None`` with
-    ``jobs=None`` likewise picks up the configured shared cache.
+    Arguments left as ``None`` pick up the process-wide configuration
+    (see :func:`repro.run.configure` / ``REPRO_JOBS``): worker count,
+    shared cache, retry policy, sweep manifest, and resume mode.  Failed
+    jobs (retries exhausted) appear as outcomes with ``result=None``
+    rather than aborting the sweep.
     """
-    if jobs is None or cache is None:
-        from repro.run import runner_defaults
-        cfg_jobs, cfg_cache = runner_defaults()
-        if jobs is None:
-            jobs = cfg_jobs
-        if cache is None:
-            cache = cfg_cache
+    if jobs is None or cache is None or policy is None \
+            or manifest is None or resume is None:
+        from repro.run import runner_state
+        state = runner_state()
+        jobs = state.jobs if jobs is None else jobs
+        cache = state.cache if cache is None else cache
+        policy = state.policy if policy is None else policy
+        manifest = state.manifest if manifest is None else manifest
+        resume = state.resume if resume is None else resume
     jobs = max(1, int(jobs))
 
     start = time.perf_counter()  # repro-lint: disable=R002
+    if manifest is not None:
+        fingerprints = [spec.fingerprint() for spec in specs]
+        manifest.begin(fingerprints, [spec.describe() for spec in specs],
+                       resume=bool(resume))
+
     outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
     pending: List[Tuple[int, JobSpec]] = []
     for index, spec in enumerate(specs):
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
-            outcomes[index] = JobOutcome(spec, hit, 0.0, cached=True)
+            outcomes[index] = JobOutcome(spec, hit, 0.0, cached=True,
+                                         attempts=0)
+            if manifest is not None:
+                manifest.mark_done(spec.fingerprint(), cached=True)
         else:
             pending.append((index, spec))
 
@@ -169,13 +471,14 @@ def run_many(specs: Sequence[JobSpec], jobs: Optional[int] = None,
     if pending:
         if jobs > 1 and len(pending) > 1:
             ok = _run_pool(pending, min(jobs, len(pending)), cache,
-                           outcomes)
+                           outcomes, policy, manifest)
             if not ok:
                 fell_back = True
                 _run_serial([p for p in pending
-                             if outcomes[p[0]] is None], cache, outcomes)
+                             if outcomes[p[0]] is None], cache, outcomes,
+                            policy, manifest)
         else:
-            _run_serial(pending, cache, outcomes)
+            _run_serial(pending, cache, outcomes, policy, manifest)
 
     report = RunReport(outcomes=[o for o in outcomes if o is not None],
                        wall_time=time.perf_counter() - start,  # repro-lint: disable=R002

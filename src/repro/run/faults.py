@@ -1,0 +1,170 @@
+"""Deterministic host-side fault injection for the experiment runner.
+
+The resilience layer (retries, timeouts, cache quarantine) is only
+trustworthy if every recovery path can be demonstrated on demand.  This
+module injects three kinds of *host-side* faults -- worker crashes,
+hangs past the job timeout, and corrupted cache writes -- without ever
+touching simulated state: a fault delays or re-runs a job, but the
+simulation itself is deterministic, so the surviving results are
+byte-identical to a fault-free run.
+
+Activation is via the ``REPRO_FAULTS`` environment variable::
+
+    REPRO_FAULTS=crash:0.2,hang:0.1,corrupt:0.1,seed:7
+
+Recognised keys:
+
+``crash:P``    probability a job attempt raises :class:`InjectedCrash`
+``hang:P``     probability a job attempt sleeps ``hang_s`` seconds
+               before running (long enough to trip ``--job-timeout``)
+``corrupt:P``  probability a cache write is truncated or bit-flipped
+``seed:N``     integer folded into every fault decision (default 0)
+``hang_s:S``   injected hang duration in seconds (default 30)
+
+Every decision is a pure function of ``(seed, kind, fingerprint,
+attempt)`` hashed through sha256 -- no global RNG state, no wall clock
+-- so a sweep re-run with the same plan injects exactly the same faults,
+and a retried attempt of the same job rolls independently (which is what
+lets retries eventually succeed).  Worker processes inherit the
+environment variable, so pool workers and the serial path inject
+identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+#: Environment variable holding the fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Default injected hang duration (seconds).  Long enough to exceed any
+#: sensible ``--job-timeout`` yet bounded, so abandoned workers drain.
+DEFAULT_HANG_SECONDS = 30.0
+
+_PROB_KEYS = ("crash", "hang", "corrupt")
+
+
+class InjectedCrash(Exception):
+    """Raised by a worker attempt selected for a crash fault.
+
+    Deliberately a direct :class:`Exception` subclass -- not an
+    ``OSError`` or ``RuntimeError`` -- so it exercises the executor's
+    *arbitrary* per-job exception isolation, not a lucky catch tuple.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed fault-injection configuration."""
+
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+    hang_seconds: float = DEFAULT_HANG_SECONDS
+
+    # ------------------------------------------------------------- parsing
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a ``crash:0.2,hang:0.1,corrupt:0.1,seed:7`` string."""
+        values: dict = {}
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, raw = item.partition(":")
+            key = key.strip().lower()
+            if not sep:
+                raise ValueError(
+                    f"malformed {FAULTS_ENV} entry {item!r}: expected "
+                    f"key:value")
+            if key in _PROB_KEYS:
+                prob = float(raw)
+                if not 0.0 <= prob <= 1.0:
+                    raise ValueError(
+                        f"{FAULTS_ENV} probability {key}:{raw} outside "
+                        f"[0, 1]")
+                values[key] = prob
+            elif key == "seed":
+                values["seed"] = int(raw)
+            elif key == "hang_s":
+                values["hang_seconds"] = float(raw)
+            else:
+                raise ValueError(
+                    f"unknown {FAULTS_ENV} key {key!r}; expected one of "
+                    f"{sorted(_PROB_KEYS + ('seed', 'hang_s'))}")
+        return cls(**values)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.crash or self.hang or self.corrupt)
+
+    # ------------------------------------------------------------- rolling
+
+    def _unit(self, kind: str, fingerprint: str, attempt: int) -> float:
+        """Deterministic value in [0, 1) for one fault decision."""
+        token = f"{self.seed}:{kind}:{fingerprint}:{attempt}"
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def roll(self, kind: str, fingerprint: str, attempt: int = 0) -> bool:
+        """Should fault ``kind`` fire for this (job, attempt)?"""
+        probability = getattr(self, kind)
+        return probability > 0.0 and \
+            self._unit(kind, fingerprint, attempt) < probability
+
+    # ---------------------------------------------------------- injection
+
+    def maybe_crash(self, fingerprint: str, attempt: int = 0) -> None:
+        """Raise :class:`InjectedCrash` if this attempt was selected."""
+        if self.roll("crash", fingerprint, attempt):
+            raise InjectedCrash(
+                f"injected crash (job {fingerprint[:12]}, "
+                f"attempt {attempt})")
+
+    def maybe_hang(self, fingerprint: str, attempt: int = 0) -> bool:
+        """Sleep ``hang_seconds`` if selected; returns whether it fired."""
+        if not self.roll("hang", fingerprint, attempt):
+            return False
+        import time
+        time.sleep(self.hang_seconds)
+        return True
+
+    def corrupt_text(self, text: str, fingerprint: str) -> str:
+        """Corrupt a cache payload if selected (else return unchanged).
+
+        Alternates deterministically between truncation (half the
+        payload vanishes, as if the writer was SIGKILLed) and a single
+        flipped character (silent bit rot).  Either way the stored
+        checksum no longer matches, which is exactly what the cache's
+        quarantine path must catch.
+        """
+        if not self.roll("corrupt", fingerprint):
+            return text
+        if not text:
+            return text
+        selector = self._unit("corrupt-mode", fingerprint, 0)
+        if selector < 0.5:
+            return text[:max(1, len(text) // 2)]
+        position = int(self._unit("corrupt-pos", fingerprint, 0)
+                       * len(text)) % len(text)
+        flipped = chr(ord(text[position]) ^ 0x01)
+        return text[:position] + flipped + text[position + 1:]
+
+
+def plan_from_env(env: Optional[str] = None) -> Optional[FaultPlan]:
+    """The active :class:`FaultPlan`, or ``None`` when none is set.
+
+    ``env`` overrides the environment lookup (for tests).  An unset or
+    empty variable disables injection entirely; a plan whose
+    probabilities are all zero is likewise reported as inactive.
+    """
+    text = env if env is not None else os.environ.get(FAULTS_ENV, "")
+    if not text.strip():
+        return None
+    plan = FaultPlan.parse(text)
+    return plan if plan.active else None

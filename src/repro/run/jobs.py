@@ -180,6 +180,18 @@ class JobSpec:
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
+    def describe(self) -> str:
+        """Short human-readable label for manifests and progress output.
+
+        Not a cache key (that is :meth:`fingerprint`); just enough for a
+        person scanning ``repro sweep-status`` to recognise the cell:
+        workload kind, run sizes, seed, and a fingerprint prefix that
+        disambiguates the system configuration.
+        """
+        return (f"{self.workload.kind} i={self.instructions} "
+                f"w={self.warmup} seed={self.seed} "
+                f"[{self.fingerprint()[:12]}]")
+
     def run(self) -> SimulationResult:
         """Rebuild the workload and execute the simulation."""
         return run_simulation(self.params, self.workload.build(),

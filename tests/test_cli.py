@@ -12,10 +12,12 @@ def tiny_sizes(monkeypatch, tmp_path):
                         {"oltp": (3000, 3000), "dss": (3000, 3000)})
     # The CLI enables the persistent cache by default; keep test runs
     # isolated in a throwaway directory and restore the previous state.
-    previous = repro.run.runner_defaults()
+    previous = (repro.run._jobs, repro.run._cache, repro.run._manifest,
+                repro.run._policy, repro.run._resume)
     repro.run.configure(cache_dir=str(tmp_path / "cache"))
     yield
-    repro.run._jobs, repro.run._cache = previous
+    (repro.run._jobs, repro.run._cache, repro.run._manifest,
+     repro.run._policy, repro.run._resume) = previous
 
 
 class TestCli:
@@ -48,6 +50,31 @@ class TestCli:
         assert cli.main(["--cache-dir", str(target), "--quick",
                          "characterize"]) == 0
         assert target.is_dir() and any(target.iterdir())
+
+    def test_sweep_status_without_cache_fails(self, capsys):
+        assert cli.main(["--no-cache", "sweep-status"]) == 1
+        assert "no manifest" in capsys.readouterr().out
+
+    def test_sweep_status_reports_manifest_progress(self, tmp_path,
+                                                    capsys):
+        target = tmp_path / "sweep-cache"
+        assert cli.main(["--cache-dir", str(target), "--quick",
+                         "figure", "5", "oltp"]) == 0
+        capsys.readouterr()
+        assert cli.main(["--cache-dir", str(target),
+                         "sweep-status"]) == 0
+        out = capsys.readouterr().out
+        assert "manifest:" in out
+        assert "done" in out and "attempts" in out
+        assert "cache:" in out
+
+    def test_resilience_flags_configure_runner(self):
+        assert cli.main(["--retries", "7", "--job-timeout", "120",
+                         "--resume", "sweep-status"]) == 0
+        state = repro.run.runner_state()
+        assert state.policy.retries == 7
+        assert state.policy.job_timeout == 120.0
+        assert state.resume is True
 
 
 class TestCheckCommands:

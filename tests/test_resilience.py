@@ -1,0 +1,661 @@
+"""Tests for the sweep resilience layer.
+
+Covers deterministic fault injection (``REPRO_FAULTS``), per-job retry /
+timeout / backoff isolation in both the serial and pool executors, the
+persistent sweep manifest with ``--resume`` semantics, cache integrity
+(checksums, quarantine, best-effort writes, orphan sweeping), failure
+accounting in :class:`RunReport`, explicit figure gaps, and the
+acceptance property that a fault-injected sweep reproduces the
+fault-free results byte-for-byte.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+import repro.run
+import repro.run.executor as executor
+from repro.core import figures as F
+from repro.core.sweep import seed_sweep
+from repro.core.workloads import oltp_workload
+from repro.params import default_system
+from repro.run import (
+    DEFAULT_POLICY,
+    MANIFEST_NAME,
+    FaultPlan,
+    InjectedCrash,
+    JobSpec,
+    ResultCache,
+    RetryPolicy,
+    SweepManifest,
+    WorkloadSpec,
+    plan_from_env,
+    run_many,
+)
+
+# Small enough that retries stay cheap, large enough to exercise the
+# simulator for real.  One attempt takes ~0.1s serially on a slow box;
+# every timeout in this file keeps a generous multiple of that.
+TINY = dict(instructions=800, warmup=800)
+
+#: Backoff knobs that keep retry-heavy tests fast without changing the
+#: deterministic schedule's shape.
+FAST_BACKOFF = dict(backoff_base=0.001, backoff_cap=0.01)
+
+
+def tiny_spec(seed=0, kind="oltp", **params_changes):
+    params = default_system(**params_changes)
+    return JobSpec(params, WorkloadSpec(kind), seed=seed, **TINY)
+
+
+def find_fault_seed(predicate, limit=200000):
+    """Smallest fault-plan seed satisfying ``predicate`` -- fault rolls
+    are pure hashes, so the search (and thus the test) is deterministic."""
+    for seed in range(limit):
+        if predicate(seed):
+            return seed
+    raise AssertionError("no suitable fault seed in search range")
+
+
+@pytest.fixture(autouse=True)
+def clean_runner(monkeypatch):
+    """Isolate each test from process-wide runner state and fault env."""
+    monkeypatch.setattr(repro.run, "_jobs", 1)
+    monkeypatch.setattr(repro.run, "_cache", None)
+    monkeypatch.setattr(repro.run, "_manifest", None)
+    monkeypatch.setattr(repro.run, "_policy", DEFAULT_POLICY)
+    monkeypatch.setattr(repro.run, "_resume", False)
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
+# ---------------------------------------------------------------------------
+# Fault plan parsing and deterministic rolls
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_parse_full_plan(self):
+        plan = FaultPlan.parse("crash:0.2,hang:0.1,corrupt:0.1,seed:7")
+        assert plan.crash == 0.2 and plan.hang == 0.1
+        assert plan.corrupt == 0.1 and plan.seed == 7
+        assert plan.active
+
+    def test_parse_hang_duration(self):
+        assert FaultPlan.parse("hang:1,hang_s:0.25").hang_seconds == 0.25
+
+    def test_parse_rejects_probability_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash:1.5")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("hang:-0.1")
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan.parse("explode:0.5")
+
+    def test_parse_rejects_malformed_entry(self):
+        with pytest.raises(ValueError, match="malformed"):
+            FaultPlan.parse("crash")
+
+    def test_plan_from_env(self, monkeypatch):
+        assert plan_from_env("") is None
+        # All-zero probabilities: syntactically valid but inactive.
+        assert plan_from_env("crash:0,hang:0,corrupt:0") is None
+        monkeypatch.setenv("REPRO_FAULTS", "crash:1,seed:3")
+        plan = plan_from_env()
+        assert plan is not None
+        assert plan.crash == 1.0 and plan.seed == 3
+
+    def test_rolls_deterministic_and_attempt_independent(self):
+        plan = FaultPlan(crash=0.5, seed=7)
+        fingerprint = "a" * 64
+        rolls = [plan.roll("crash", fingerprint, a) for a in range(32)]
+        again = [plan.roll("crash", fingerprint, a) for a in range(32)]
+        assert rolls == again
+        # Retried attempts roll independently: with p=0.5 over 32
+        # attempts both outcomes must appear (else retries could never
+        # rescue a crashing job).
+        assert any(rolls) and not all(rolls)
+
+    def test_maybe_crash(self):
+        with pytest.raises(InjectedCrash):
+            FaultPlan(crash=1.0).maybe_crash("f" * 64)
+        FaultPlan(crash=0.0).maybe_crash("f" * 64)  # no-op
+
+    def test_injected_crash_is_not_a_common_exception_type(self):
+        # Guards the "arbitrary exception" isolation claim: if this ever
+        # becomes an OSError/RuntimeError subclass, the executor tests
+        # would only prove a lucky catch tuple.
+        assert not issubclass(InjectedCrash, (OSError, RuntimeError))
+
+    def test_corrupt_text_deterministic_and_always_detectable(self):
+        plan = FaultPlan(corrupt=1.0, seed=1)
+        text = json.dumps({"payload": list(range(64))})
+        for char in "abcd":
+            fingerprint = char * 64
+            mangled = plan.corrupt_text(text, fingerprint)
+            assert mangled != text
+            assert mangled == plan.corrupt_text(text, fingerprint)
+        assert FaultPlan(corrupt=0.0).corrupt_text(text, "a" * 64) == text
+
+
+class TestRetryPolicy:
+    def test_backoff_deterministic_and_capped(self):
+        policy = RetryPolicy(backoff_base=0.05, backoff_cap=0.4)
+        fingerprint = "e" * 64
+        delays = [policy.backoff_delay(fingerprint, a) for a in range(1, 10)]
+        assert delays == [policy.backoff_delay(fingerprint, a)
+                          for a in range(1, 10)]
+        assert policy.backoff_delay(fingerprint, 0) == 0.0
+        assert all(0.0 < delay <= 0.4 for delay in delays)
+        # Late attempts sit at the cap (modulo the 0.5-1.0 jitter band).
+        assert delays[-1] >= 0.2
+
+    def test_deadline(self):
+        assert RetryPolicy(job_timeout=None).deadline_for(5.0) == math.inf
+        assert RetryPolicy(job_timeout=2.0).deadline_for(5.0) == 7.0
+
+
+# ---------------------------------------------------------------------------
+# Serial executor: retries, exhaustion, post-hoc timeouts
+# ---------------------------------------------------------------------------
+
+class TestSerialRetries:
+    def test_crash_then_success_matches_fault_free_baseline(
+            self, monkeypatch):
+        spec = tiny_spec()
+        baseline = spec.run()
+        fingerprint = spec.fingerprint()
+        fault_seed = find_fault_seed(
+            lambda s: FaultPlan(crash=0.5, seed=s).roll(
+                "crash", fingerprint, 0)
+            and not FaultPlan(crash=0.5, seed=s).roll(
+                "crash", fingerprint, 1))
+        monkeypatch.setenv("REPRO_FAULTS", f"crash:0.5,seed:{fault_seed}")
+        policy = RetryPolicy(retries=2, **FAST_BACKOFF)
+        report = run_many([spec], jobs=1, cache=None, policy=policy)
+        outcome = report.outcomes[0]
+        assert not outcome.failed and outcome.attempts == 2
+        assert report.retried == 1 and not report.failures
+        assert outcome.result.dump() == baseline.dump()
+
+    def test_exhausted_retries_fail_without_aborting_the_sweep(
+            self, monkeypatch):
+        specs = [tiny_spec(seed=s) for s in range(3)]
+        monkeypatch.setenv("REPRO_FAULTS", "crash:1,seed:0")
+        policy = RetryPolicy(retries=1, **FAST_BACKOFF)
+        report = run_many(specs, jobs=1, cache=None, policy=policy)
+        assert len(report.outcomes) == 3
+        assert len(report.failures) == 3
+        assert all(o.failed and o.attempts == 2 for o in report.outcomes)
+        assert all("InjectedCrash" in o.error for o in report.outcomes)
+        assert report.results == [None, None, None]
+        assert report.simulated_instructions == 0
+        assert "3 FAILED" in report.format_summary()
+
+    def test_serial_timeout_is_enforced_post_hoc(self, monkeypatch):
+        # Every attempt hangs 0.8s against a 0.4s budget: the serial
+        # path cannot interrupt the attempt, so it must discard the
+        # over-budget result afterwards and eventually fail the job.
+        spec = tiny_spec()
+        monkeypatch.setenv("REPRO_FAULTS", "hang:1,hang_s:0.8,seed:0")
+        policy = RetryPolicy(retries=1, job_timeout=0.4, **FAST_BACKOFF)
+        report = run_many([spec], jobs=1, cache=None, policy=policy)
+        outcome = report.outcomes[0]
+        assert outcome.failed and outcome.attempts == 2
+        assert "timeout" in outcome.error
+
+    def test_timeout_then_success_matches_baseline(self, monkeypatch):
+        spec = tiny_spec(seed=3)
+        baseline = spec.run()
+        fingerprint = spec.fingerprint()
+        fault_seed = find_fault_seed(
+            lambda s: FaultPlan(hang=0.5, seed=s).roll(
+                "hang", fingerprint, 0)
+            and not FaultPlan(hang=0.5, seed=s).roll(
+                "hang", fingerprint, 1))
+        monkeypatch.setenv("REPRO_FAULTS",
+                           f"hang:0.5,hang_s:1.5,seed:{fault_seed}")
+        # A clean attempt takes ~0.1s; 0.6s keeps a wide margin while
+        # the injected 1.5s hang reliably overshoots it.
+        policy = RetryPolicy(retries=2, job_timeout=0.6, **FAST_BACKOFF)
+        report = run_many([spec], jobs=1, cache=None, policy=policy)
+        outcome = report.outcomes[0]
+        assert not outcome.failed and outcome.attempts == 2
+        assert outcome.result.dump() == baseline.dump()
+
+
+# ---------------------------------------------------------------------------
+# Pool executor: isolation, timeout abandonment, serial fallback
+# ---------------------------------------------------------------------------
+
+class TestPoolResilience:
+    def test_pool_crash_isolation_matches_baseline(self, monkeypatch):
+        specs = [tiny_spec(seed=s) for s in range(4)]
+        baseline = [spec.run().dump() for spec in specs]
+        fingerprints = [spec.fingerprint() for spec in specs]
+
+        def crashes_then_succeeds(seed):
+            plan = FaultPlan(crash=0.5, seed=seed)
+            first = [plan.roll("crash", fp, 0) for fp in fingerprints]
+            second = [plan.roll("crash", fp, 1) for fp in fingerprints]
+            return any(first) and \
+                all(not (a and b) for a, b in zip(first, second))
+
+        fault_seed = find_fault_seed(crashes_then_succeeds)
+        monkeypatch.setenv("REPRO_FAULTS", f"crash:0.5,seed:{fault_seed}")
+        policy = RetryPolicy(retries=2, **FAST_BACKOFF)
+        report = run_many(specs, jobs=2, cache=None, policy=policy)
+        assert not report.failures
+        assert report.retried >= 1
+        assert [r.dump() for r in report.results] == baseline
+
+    def test_pool_timeout_abandons_and_retries(self, monkeypatch):
+        specs = [tiny_spec(seed=s) for s in range(4)]
+        baseline = [spec.run().dump() for spec in specs]
+        fingerprints = [spec.fingerprint() for spec in specs]
+
+        def one_hang_then_clean(seed):
+            plan = FaultPlan(hang=0.3, seed=seed)
+            first = [plan.roll("hang", fp, 0) for fp in fingerprints]
+            second = [plan.roll("hang", fp, 1) for fp in fingerprints]
+            return sum(first) == 1 and not any(second)
+
+        fault_seed = find_fault_seed(one_hang_then_clean)
+        monkeypatch.setenv("REPRO_FAULTS",
+                           f"hang:0.3,hang_s:6,seed:{fault_seed}")
+        # The 6s hang dwarfs the 2s budget; clean attempts (~0.3s even
+        # under single-core pool contention) stay far inside it.
+        policy = RetryPolicy(retries=3, job_timeout=2.0, **FAST_BACKOFF)
+        report = run_many(specs, jobs=2, cache=None, policy=policy)
+        assert not report.failures
+        assert report.retried >= 1
+        hung = [o for o in report.outcomes if o.attempts > 1]
+        assert hung and all(not o.failed for o in hung)
+        assert [r.dump() for r in report.results] == baseline
+
+    def test_serial_fallback_reruns_only_missing_outcomes(
+            self, monkeypatch):
+        specs = [tiny_spec(seed=s) for s in range(3)]
+        executed = []
+        real_serial = executor._run_one_serial
+
+        def half_done_pool(pending, jobs, cache, outcomes, policy,
+                           manifest):
+            # Complete the first pending job, then report the pool dead.
+            index, spec = pending[0]
+            outcomes[index] = executor._finish(
+                spec, spec.run(), 0.0, 1, cache, manifest)
+            return False
+
+        def tracking_serial(spec, cache, policy, manifest):
+            executed.append(spec.seed)
+            return real_serial(spec, cache, policy, manifest)
+
+        monkeypatch.setattr(executor, "_run_pool", half_done_pool)
+        monkeypatch.setattr(executor, "_run_one_serial", tracking_serial)
+        report = run_many(specs, jobs=2, cache=None)
+        assert report.fell_back_to_serial and report.jobs == 1
+        # Seed 0 completed on the "pool" and must not re-run.
+        assert executed == [1, 2]
+        assert len(report.outcomes) == 3 and not report.failures
+
+    def test_mixed_cached_failed_retried_accounting(self, tmp_path,
+                                                    monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        cached_spec, retried_spec, doomed_spec = \
+            tiny_spec(seed=0), tiny_spec(seed=1), tiny_spec(seed=2)
+        cache.put(cached_spec, cached_spec.run())
+        retried_fp = retried_spec.fingerprint()
+        doomed_fp = doomed_spec.fingerprint()
+
+        def mixed_fates(seed):
+            plan = FaultPlan(crash=0.6, seed=seed)
+            return (plan.roll("crash", retried_fp, 0)
+                    and not plan.roll("crash", retried_fp, 1)
+                    and all(plan.roll("crash", doomed_fp, a)
+                            for a in range(3)))
+
+        fault_seed = find_fault_seed(mixed_fates)
+        monkeypatch.setenv("REPRO_FAULTS", f"crash:0.6,seed:{fault_seed}")
+        policy = RetryPolicy(retries=2, **FAST_BACKOFF)
+        report = run_many([cached_spec, retried_spec, doomed_spec],
+                          jobs=1, cache=cache, policy=policy)
+        assert report.cache_hits == 1 and report.cache_misses == 2
+        assert report.retried == 2          # both needed >1 attempt
+        assert len(report.failures) == 1
+        assert report.failures[0].spec is doomed_spec
+        assert report.outcomes[0].cached
+        assert report.outcomes[0].attempts == 0
+        assert report.outcomes[1].attempts == 2
+        assert report.outcomes[2].attempts == 3
+        assert report.results[2] is None
+        # Only the retried job actually simulated anything.
+        cost = retried_spec.instructions + retried_spec.warmup
+        assert report.simulated_instructions == cost
+        summary = report.format_summary()
+        assert "1 cached" in summary
+        assert "2 retried" in summary and "1 FAILED" in summary
+
+
+# ---------------------------------------------------------------------------
+# Cache integrity: checksums, quarantine, best-effort writes, orphans
+# ---------------------------------------------------------------------------
+
+class TestCacheIntegrity:
+    def _seed_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        cache.put(spec, spec.run())
+        return cache, spec, next(cache.path.glob("*.json"))
+
+    def test_checksum_round_trip(self, tmp_path):
+        cache, spec, entry = self._seed_entry(tmp_path)
+        data = json.loads(entry.read_text())
+        assert data["format"] == 2 and data["checksum"]
+        hit = cache.get(spec)
+        assert hit is not None and hit.dump() == spec.run().dump()
+
+    def test_bit_flip_quarantined(self, tmp_path):
+        cache, spec, entry = self._seed_entry(tmp_path)
+        text = entry.read_text()
+        entry.write_text(text.replace('"checksum": "',
+                                      '"checksum": "0', 1))
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(spec) is None
+        assert (cache.quarantine_path / entry.name).exists()
+        assert cache.stats()["quarantine_entries"] == 1
+
+    def test_truncation_quarantined(self, tmp_path):
+        cache, spec, entry = self._seed_entry(tmp_path)
+        text = entry.read_text()
+        entry.write_text(text[:len(text) // 2])
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(spec) is None
+        assert cache.quarantined == 1
+
+    def test_pre_integrity_format_quarantined(self, tmp_path):
+        cache, spec, entry = self._seed_entry(tmp_path)
+        data = json.loads(entry.read_text())
+        del data["checksum"]
+        data["format"] = 1
+        entry.write_text(json.dumps(data))
+        with pytest.warns(RuntimeWarning, match="missing checksum"):
+            assert cache.get(spec) is None
+        assert cache.quarantine_entries() == 1
+
+    def test_put_is_best_effort_on_unwritable_directory(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")          # a *file* where the dir should be
+        cache = ResultCache(blocker / "cache")
+        spec = tiny_spec()
+        result = spec.run()
+        with pytest.warns(RuntimeWarning, match="cache write failed"):
+            assert cache.put(spec, result) is False
+        assert cache.write_errors == 1
+        assert "1 write errors" in cache.format_stats()
+        # The sweep that computed the result keeps going regardless.
+        with pytest.warns(RuntimeWarning, match="cache write failed"):
+            report = run_many([spec], jobs=1, cache=cache)
+        assert not report.failures
+        assert report.results[0].dump() == result.dump()
+
+    def test_orphan_tmp_files_swept_and_purged(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        stale = cache_dir / "killed-writer.tmp"
+        stale.write_text("partial")
+        os.utime(stale, (1, 1))         # ancient: well past the TTL
+        fresh = cache_dir / "live-writer.tmp"
+        fresh.write_text("partial")
+        cache = ResultCache(cache_dir)
+        cache.put(tiny_spec(), tiny_spec().run())  # triggers the sweep
+        assert not stale.exists()       # stale orphan removed
+        assert fresh.exists()           # in-flight writer left alone
+        assert cache.purge() == 2       # entry + fresh tmp
+        assert not any(cache_dir.glob("*.tmp"))
+
+    def test_injected_corruption_quarantined_on_next_read(
+            self, tmp_path, monkeypatch):
+        spec = tiny_spec()
+        fingerprint = spec.fingerprint()
+        fault_seed = find_fault_seed(
+            lambda s: FaultPlan(corrupt=0.5, seed=s).roll(
+                "corrupt", fingerprint))
+        monkeypatch.setenv("REPRO_FAULTS",
+                           f"corrupt:0.5,seed:{fault_seed}")
+        cache = ResultCache(tmp_path)
+        first = run_many([spec], jobs=1, cache=cache)
+        assert len(cache) == 1          # corrupt bytes landed, undetected
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            second = run_many([spec], jobs=1, cache=cache)
+        assert second.cache_hits == 0   # detected, quarantined, re-run
+        assert cache.quarantined == 1
+        assert cache.quarantine_entries() == 1
+        assert second.results[0].dump() == first.results[0].dump()
+
+
+# ---------------------------------------------------------------------------
+# Sweep manifest: persistence, recovery, resume
+# ---------------------------------------------------------------------------
+
+class TestSweepManifest:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        manifest = SweepManifest(path)
+        manifest.begin(["f1", "f2", "f3"], ["a", "b", "c"])
+        manifest.mark_running("f1")
+        manifest.mark_done("f1")
+        manifest.mark_running("f2")
+        manifest.mark_retrying("f2", "InjectedCrash: boom")
+        manifest.mark_running("f2")
+        manifest.mark_failed("f2", "InjectedCrash: boom")
+        reloaded = SweepManifest(path)
+        assert len(reloaded) == 3 and reloaded.load_error is None
+        assert reloaded.get("f1").complete
+        assert reloaded.get("f2").status == "failed"
+        assert reloaded.get("f2").attempts == 2
+        assert "boom" in reloaded.get("f2").error
+        assert reloaded.get("f3").status == "pending"
+        assert reloaded.counts() == {"done": 1, "failed": 1, "pending": 1}
+        assert reloaded.total_attempts() == 3
+        assert "1/3 done" in reloaded.format_summary()
+        assert "failed" in reloaded.format_status()
+
+    def test_torn_manifest_recovers_without_wedging(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        path.write_text('{"format": 1, "jobs": [{"fing')  # torn write
+        manifest = SweepManifest(path)
+        assert manifest.load_error is not None
+        assert len(manifest) == 0
+        manifest.begin(["f1"], ["a"])   # still fully usable
+        assert SweepManifest(path).get("f1") is not None
+
+    def test_resume_keeps_done_and_rearms_incomplete(self, tmp_path):
+        manifest = SweepManifest(tmp_path / MANIFEST_NAME)
+        manifest.begin(["f1", "f2"], ["a", "b"])
+        manifest.mark_running("f1")
+        manifest.mark_done("f1")
+        manifest.mark_running("f2")
+        manifest.mark_retrying("f2", "err")
+        manifest.begin(["f1", "f2"], ["a", "b"], resume=True)
+        assert manifest.get("f1").status == "done"
+        assert manifest.get("f1").attempts == 1    # history preserved
+        assert manifest.get("f2").status == "pending"
+        assert manifest.get("f2").attempts == 1    # attempts accumulate
+        # Without resume the same call resets everything.
+        manifest.begin(["f1", "f2"], ["a", "b"], resume=False)
+        assert manifest.get("f1").status == "pending"
+        assert manifest.total_attempts() == 0
+
+    def test_interrupted_sweep_resumes_only_the_remainder(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        manifest = SweepManifest(cache.path / MANIFEST_NAME)
+        specs = [tiny_spec(seed=s) for s in range(6)]
+        first = run_many(specs[:4], jobs=1, cache=cache,
+                         manifest=manifest)
+        assert not first.failures
+        attempts_before = {spec.fingerprint():
+                           manifest.get(spec.fingerprint()).attempts
+                           for spec in specs[:4]}
+        # A "new process" after the kill: reload the manifest from disk.
+        reloaded = SweepManifest(cache.path / MANIFEST_NAME)
+        assert len(reloaded) == 4
+        second = run_many(specs, jobs=1, cache=cache, manifest=reloaded,
+                          resume=True)
+        assert not second.failures
+        assert second.cache_hits == 4   # completed jobs did not re-run
+        for spec in specs[:4]:
+            record = reloaded.get(spec.fingerprint())
+            assert record.status == "done" and record.cached
+            assert record.attempts == \
+                attempts_before[spec.fingerprint()]
+        assert reloaded.counts() == {"done": 6}
+        # A third resume run is a pure no-op: zero new attempts.
+        total_attempts = reloaded.total_attempts()
+        third = run_many(specs, jobs=1, cache=cache, manifest=reloaded,
+                         resume=True)
+        assert third.cache_hits == 6
+        assert reloaded.total_attempts() == total_attempts
+
+
+# ---------------------------------------------------------------------------
+# Downstream consumers: figures render gaps, seed sweeps keep going
+# ---------------------------------------------------------------------------
+
+def _doctor_first_outcome(monkeypatch):
+    """Make figure-level run_many calls report their first job failed."""
+    real_run_many = F.run_many
+
+    def doctored(specs, **kwargs):
+        report = real_run_many(specs, jobs=1, cache=None)
+        first = report.outcomes[0]
+        report.outcomes[0] = executor.JobOutcome(
+            first.spec, None, first.wall_time, attempts=3,
+            error="InjectedCrash: injected crash")
+        return report
+
+    monkeypatch.setattr(F, "run_many", doctored)
+
+
+class TestDownstreamGaps:
+    def test_figure_renders_explicit_gap_for_failed_config(
+            self, monkeypatch):
+        _doctor_first_outcome(monkeypatch)
+        out = F.figure5("oltp", **TINY)
+        assert list(out.failed) == ["uniprocessor"]
+        assert "InjectedCrash" in out.failed["uniprocessor"]
+        assert [row.label for row in out.rows] == ["multiprocessor"]
+        assert "FAILED" in out.format_table()
+
+    def test_sweep_normalizes_to_first_surviving_config(
+            self, monkeypatch):
+        _doctor_first_outcome(monkeypatch)
+        out = F.figure4(**TINY)
+        assert len(out.failed) == 1
+        assert out.rows and out.rows[0].normalized == 1.0
+        assert out.rows[0].label not in out.failed
+
+    def test_characterization_table_maps_failure_to_none(
+            self, monkeypatch):
+        _doctor_first_outcome(monkeypatch)
+        table = F.characterization_table(**TINY)
+        assert table["oltp"] is None
+        assert table["dss"] is not None and "ipc" in table["dss"]
+
+    def test_seed_sweep_reports_partial_failures(self, monkeypatch):
+        params = default_system()
+        specs = [JobSpec(params, WorkloadSpec("oltp"), seed=s, **TINY)
+                 for s in (0, 1)]
+        fp0, fp1 = (spec.fingerprint() for spec in specs)
+        fault_seed = find_fault_seed(
+            lambda s: FaultPlan(crash=0.5, seed=s).roll("crash", fp0, 0)
+            and not FaultPlan(crash=0.5, seed=s).roll("crash", fp1, 0))
+        monkeypatch.setenv("REPRO_FAULTS", f"crash:0.5,seed:{fault_seed}")
+        monkeypatch.setattr(repro.run, "_policy",
+                            RetryPolicy(retries=0, **FAST_BACKOFF))
+        sweep = seed_sweep(params, oltp_workload, seeds=(0, 1),
+                           label="partial", **TINY)
+        assert sweep.failures == 1 and len(sweep.cycles) == 1
+        assert "1 seed(s) FAILED" in str(sweep)
+
+    def test_seed_sweep_raises_when_every_seed_fails(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash:1,seed:0")
+        monkeypatch.setattr(repro.run, "_policy",
+                            RetryPolicy(retries=0, **FAST_BACKOFF))
+        with pytest.raises(RuntimeError, match="every seed failed"):
+            seed_sweep(default_system(), oltp_workload, seeds=(0, 1),
+                       label="doomed", **TINY)
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: fault-injected sweeps reproduce fault-free results
+# ---------------------------------------------------------------------------
+
+class TestAcceptance:
+    def test_fault_free_run_with_resilience_layer_is_byte_identical(
+            self, tmp_path):
+        specs = [tiny_spec(seed=s) for s in (0, 1)]
+        plain = run_many(specs, jobs=1, cache=None,
+                         policy=RetryPolicy(retries=0))
+        cache = ResultCache(tmp_path / "cache")
+        manifest = SweepManifest(cache.path / MANIFEST_NAME)
+        layered = run_many(specs, jobs=1, cache=cache, manifest=manifest,
+                           policy=RetryPolicy(retries=3, job_timeout=60))
+        assert [r.dump() for r in layered.results] == \
+            [r.dump() for r in plain.results]
+
+    def test_twenty_job_sweep_under_faults_matches_fault_free(
+            self, tmp_path, monkeypatch):
+        specs = [tiny_spec(seed=s) for s in range(10)] + \
+                [tiny_spec(seed=s, kind="dss") for s in range(10)]
+        baseline = run_many(specs, jobs=1, cache=None)
+        base_dumps = [r.dump() for r in baseline.results]
+        fingerprints = [spec.fingerprint() for spec in specs]
+        retries = 5
+
+        def exercised_but_survivable(seed):
+            plan = FaultPlan(crash=0.2, hang=0.1, corrupt=0.1, seed=seed)
+            clean = all(
+                any(not plan.roll("crash", fp, a)
+                    and not plan.roll("hang", fp, a)
+                    for a in range(retries + 1))
+                for fp in fingerprints)
+            return (clean
+                    and any(plan.roll("crash", fp, 0)
+                            for fp in fingerprints)
+                    and any(plan.roll("hang", fp, 0)
+                            for fp in fingerprints)
+                    and any(plan.roll("corrupt", fp)
+                            for fp in fingerprints))
+
+        fault_seed = find_fault_seed(exercised_but_survivable)
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            f"crash:0.2,hang:0.1,corrupt:0.1,hang_s:6,seed:{fault_seed}")
+        cache = ResultCache(tmp_path / "cache")
+        manifest = SweepManifest(cache.path / MANIFEST_NAME)
+        # Injected hangs (6s) trip the 2s deadline; clean attempts stay
+        # far inside it even with two workers contending on one core.
+        policy = RetryPolicy(retries=retries, job_timeout=2.0,
+                             **FAST_BACKOFF)
+        report = run_many(specs, jobs=2, cache=cache, manifest=manifest,
+                          policy=policy)
+        assert not report.failures
+        assert report.retried >= 1      # crashes/hangs actually fired
+        assert [r.dump() for r in report.results] == base_dumps
+        assert manifest.counts() == {"done": len(specs)}
+
+        # Second pass over the same cache: corrupt entries are detected,
+        # quarantined, re-run -- and the results still match.
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            again = run_many(specs, jobs=1, cache=cache,
+                             manifest=manifest, policy=policy,
+                             resume=True)
+        assert not again.failures
+        assert cache.quarantined >= 1
+        assert cache.stats()["quarantine_entries"] >= 1
+        assert again.cache_hits >= 1    # uncorrupted entries served
+        assert again.cache_hits < len(specs)
+        assert [r.dump() for r in again.results] == base_dumps

@@ -141,13 +141,17 @@ class TestResultCache:
         assert cache.hits == 1 and cache.misses == 1
         assert len(cache) == 1
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = tiny_spec()
         cache.put(spec, spec.run())
         entry = next(cache.path.glob("*.json"))
         entry.write_text("{not json")
-        assert cache.get(spec) is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(spec) is None
+        assert not entry.exists()
+        assert (cache.quarantine_path / entry.name).exists()
+        assert cache.stats()["quarantined"] == 1
 
     def test_purge(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -177,31 +181,37 @@ class TestResultCache:
 
 
 class TestRunnerDefaults:
-    def test_configure_round_trip(self):
-        previous = repro.run.runner_defaults()
-        try:
-            repro.run.configure(jobs=3, use_cache=False)
-            jobs, cache = repro.run.runner_defaults()
-            assert jobs == 3 and cache is None
-            repro.run.configure(use_cache=True)
-            assert repro.run.shared_cache() is not None
-        finally:
-            repro.run._jobs, repro.run._cache = previous
+    def test_configure_round_trip(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(repro.run, "_jobs", 1)
+        monkeypatch.setattr(repro.run, "_cache", None)
+        monkeypatch.setattr(repro.run, "_manifest", None)
+        monkeypatch.setattr(repro.run, "_policy", repro.run.DEFAULT_POLICY)
+        monkeypatch.setattr(repro.run, "_resume", False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        repro.run.configure(jobs=3, use_cache=False)
+        jobs, cache = repro.run.runner_defaults()
+        assert jobs == 3 and cache is None
+        assert repro.run.shared_manifest() is None
+        repro.run.configure(use_cache=True, retries=5, job_timeout=90,
+                            resume=True)
+        assert repro.run.shared_cache() is not None
+        assert repro.run.shared_manifest() is not None
+        state = repro.run.runner_state()
+        assert state.policy.retries == 5
+        assert state.policy.job_timeout == 90.0
+        assert state.resume is True
 
-    def test_seed_sweep_uses_runner_cache(self, tmp_path):
+    def test_seed_sweep_uses_runner_cache(self, monkeypatch, tmp_path):
         cache = ResultCache(tmp_path)
-        previous = repro.run.runner_defaults()
-        try:
-            repro.run.configure(jobs=1)
-            repro.run._cache = cache
-            sweep_a = seed_sweep(default_system(), oltp_workload,
-                                 seeds=(0, 1), label="a", **TINY)
-            sweep_b = seed_sweep(default_system(), oltp_workload,
-                                 seeds=(0, 1), label="b", **TINY)
-            assert sweep_a.cycles == sweep_b.cycles
-            assert cache.hits == 2  # second sweep fully cached
-        finally:
-            repro.run._jobs, repro.run._cache = previous
+        monkeypatch.setattr(repro.run, "_jobs", 1)
+        monkeypatch.setattr(repro.run, "_cache", cache)
+        monkeypatch.setattr(repro.run, "_manifest", None)
+        sweep_a = seed_sweep(default_system(), oltp_workload,
+                             seeds=(0, 1), label="a", **TINY)
+        sweep_b = seed_sweep(default_system(), oltp_workload,
+                             seeds=(0, 1), label="b", **TINY)
+        assert sweep_a.cycles == sweep_b.cycles
+        assert cache.hits == 2  # second sweep fully cached
 
     def test_seed_sweep_arbitrary_factory_falls_back(self):
         calls = []
