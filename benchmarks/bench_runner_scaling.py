@@ -1,15 +1,26 @@
-"""Runner scaling: serial vs parallel fan-out vs warm result cache.
+"""Runner scaling: serial vs trace arenas vs fork-server pool vs cache.
 
-Runs a small OLTP configuration sweep three ways -- serially with a cold
-cache, through the process pool (``REPRO_BENCH_JOBS`` workers), and
-serially again with the now-warm cache -- and records the wall times in
-``BENCH_runner.json`` at the repo root so the perf trajectory of the
-experiment harness itself is tracked across PRs.
+Runs a small OLTP configuration sweep four ways and records the wall
+times in ``BENCH_runner.json`` at the repo root so the perf trajectory
+of the experiment harness itself is tracked across PRs:
 
-Checked invariants: all three paths return bit-identical results, and
+1. **serial cold** -- generator path, no arenas (the baseline);
+2. **arena serial** -- same sweep with trace arenas materialized and
+   replayed in-process (``trace_gen_s`` is reported separately from
+   ``sim_s`` so the arena win is attributable);
+3. **parallel** -- fork-server pool with warm arenas and batched
+   dispatch (``REPRO_BENCH_INSTR``/``REPRO_BENCH_WARMUP`` shrink the
+   per-job size for smoke runs; ``REPRO_BENCH_JOBS`` sets workers);
+4. **warm cache** -- serial rerun against the now-warm result cache.
+
+Checked invariants: all four paths return bit-identical results, and
 the warm-cache rerun is at least 5x faster than the cold serial run.
-Parallel speedup is recorded but not asserted (CI boxes may have one
-core, where the pool only adds overhead).
+Parallel speedup expectations scale with the cores actually available
+(``os.sched_getaffinity``): with 4+ cores the pool must beat serial by
+1.5x, with 2-3 cores it must at least not lose, and on a single core
+real parallelism is impossible, so a ``parallel_speedup < 1`` there is
+*labelled* a regression in the printed summary and the JSON record but
+not asserted.
 """
 
 import dataclasses
@@ -27,8 +38,20 @@ from repro.run import MODEL_VERSION, JobSpec, ResultCache, WorkloadSpec, \
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
 
 
-def _sweep_specs(instructions=6000, warmup=6000):
+def _effective_cores() -> int:
+    """Cores this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return multiprocessing.cpu_count()
+
+
+def _sweep_specs(instructions=None, warmup=None):
     """A small but representative sweep: window sizes x two seeds."""
+    instructions = instructions if instructions is not None else \
+        int(os.environ.get("REPRO_BENCH_INSTR", "6000"))
+    warmup = warmup if warmup is not None else \
+        int(os.environ.get("REPRO_BENCH_WARMUP", "6000"))
     base = default_system()
     specs = []
     for window in (16, 32, 64):
@@ -41,46 +64,80 @@ def _sweep_specs(instructions=6000, warmup=6000):
     return specs
 
 
+def _assert_identical(reference, other, label):
+    assert [r.to_dict() for r in other.results] == \
+        [r.to_dict() for r in reference.results], \
+        f"{label} results diverged from the serial generator path"
+
+
 def test_runner_scaling(tmp_path):
     specs = _sweep_specs()
     cache = ResultCache(tmp_path / "cache")
-    jobs = BENCH_JOBS if BENCH_JOBS > 1 else \
-        max(2, multiprocessing.cpu_count())
+    trace_dir = str(tmp_path / "traces")
+    cores = _effective_cores()
+    jobs = BENCH_JOBS if BENCH_JOBS > 1 else max(2, cores)
 
-    cold = run_many(specs, jobs=1, cache=cache)
-    parallel = run_many(specs, jobs=jobs, cache=None)
-    warm = run_many(specs, jobs=1, cache=cache)
+    cold = run_many(specs, jobs=1, cache=cache, arenas="off")
+    arena_serial = run_many(specs, jobs=1, cache=None, arenas="auto",
+                            trace_dir=trace_dir)
+    parallel = run_many(specs, jobs=jobs, cache=None, arenas="auto",
+                        trace_dir=trace_dir)
+    warm = run_many(specs, jobs=1, cache=cache, arenas="off")
 
-    # All three paths must agree bit-for-bit.
-    for other in (parallel, warm):
-        assert [r.cycles for r in other.results] == \
-            [r.cycles for r in cold.results]
-        assert [r.breakdown.cycles for r in other.results] == \
-            [r.breakdown.cycles for r in cold.results]
+    # All paths must agree bit-for-bit with the generator baseline.
+    _assert_identical(cold, arena_serial, "arena replay")
+    _assert_identical(cold, parallel, "fork-server pool")
+    _assert_identical(cold, warm, "warm cache")
     assert cold.cache_misses == len(specs)
     assert warm.cache_hits == len(specs)
+    assert arena_serial.arena_jobs > 0, \
+        "arena path never engaged (nothing was materialized)"
 
     warm_speedup = cold.wall_time / max(warm.wall_time, 1e-9)
+    arena_speedup = cold.wall_time / max(arena_serial.wall_time, 1e-9)
     parallel_speedup = cold.wall_time / max(parallel.wall_time, 1e-9)
+    regression = parallel_speedup < 1.0
     record = {
         "model_version": MODEL_VERSION,
         "sweep_jobs": len(specs),
         "instructions_per_job": specs[0].instructions
         + specs[0].warmup,
         "pool_workers": parallel.jobs,
+        "effective_cores": cores,
         "fell_back_to_serial": parallel.fell_back_to_serial,
         "serial_cold_s": round(cold.wall_time, 3),
+        "arena_serial_s": round(arena_serial.wall_time, 3),
+        "trace_gen_s": round(arena_serial.trace_gen_s, 3),
+        "sim_s": round(arena_serial.sim_s, 3),
         "parallel_s": round(parallel.wall_time, 3),
         "warm_cache_s": round(warm.wall_time, 3),
+        "arena_serial_speedup": round(arena_speedup, 2),
         "parallel_speedup": round(parallel_speedup, 2),
+        "parallel_regression": regression,
+        "arena_generator_identical": True,   # asserted above
         "warm_cache_speedup": round(warm_speedup, 2),
         "serial_throughput_instr_per_s": round(cold.throughput),
     }
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    verdict = " [REGRESSION: pool slower than serial]" if regression \
+        else ""
     print(f"\nserial {cold.wall_time:.2f}s | "
+          f"arena serial {arena_serial.wall_time:.2f}s "
+          f"({arena_speedup:.2f}x, trace gen "
+          f"{arena_serial.trace_gen_s:.2f}s + sim "
+          f"{arena_serial.sim_s:.2f}s) | "
           f"parallel({parallel.jobs}) {parallel.wall_time:.2f}s "
-          f"({parallel_speedup:.2f}x) | "
-          f"warm cache {warm.wall_time:.3f}s ({warm_speedup:.0f}x)")
+          f"({parallel_speedup:.2f}x){verdict} | "
+          f"warm cache {warm.wall_time:.3f}s ({warm_speedup:.0f}x) | "
+          f"{cores} core(s)")
 
     assert warm_speedup >= 5.0, (
         f"warm cache rerun only {warm_speedup:.1f}x faster than cold")
+    if cores >= 4 and not parallel.fell_back_to_serial:
+        assert parallel_speedup >= 1.5, (
+            f"pool speedup {parallel_speedup:.2f}x < 1.5x "
+            f"with {cores} cores")
+    elif cores >= 2 and not parallel.fell_back_to_serial:
+        assert parallel_speedup >= 1.0, (
+            f"pool slower than serial ({parallel_speedup:.2f}x) "
+            f"with {cores} cores")

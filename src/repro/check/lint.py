@@ -22,6 +22,11 @@ R004    integer-only cycle arithmetic: true division assigned to a
 R005    ``JobSpec``/``WorkloadSpec`` fields must keep picklable,
         JSON-able types -- worker processes and the result cache both
         serialize them
+R006    no per-instruction object allocation on the tick hot path:
+        list/dict/set literals and comprehensions inside loops of the
+        hot modules (``cpu/core.py``, ``mem/cache.py``) or anywhere in
+        a ``tick()`` body churn the allocator millions of times per
+        simulated second -- hoist them or reuse scratch structures
 ======  ==================================================================
 
 Suppressions::
@@ -47,7 +52,18 @@ RULES: Dict[str, str] = {
     "R003": "iteration over a bare set (order leaks into behaviour)",
     "R004": "float division assigned to a cycle-carrying name",
     "R005": "unpicklable field type on JobSpec/WorkloadSpec",
+    "R006": "object allocation inside a tick-path loop (hot modules)",
 }
+
+#: Modules whose loops are the simulator's per-instruction hot path
+#: (R006).  Matched by normalized path suffix.
+_HOT_SUFFIXES = ("cpu/core.py", "mem/cache.py")
+
+#: Functions in hot modules that are allowed to allocate: setup,
+#: teardown and reporting run once per simulation, not per instruction.
+_COLD_FUNC = re.compile(
+    r"^(__\w+__|reset\w*|format\w*|describe\w*|dump\w*|summary\w*|"
+    r"to_dict|from_dict|stats\w*|report\w*)$")
 
 _PRAGMA = re.compile(
     r"#\s*repro-lint:\s*(disable|disable-file)=([A-Za-z0-9_,\s]+)")
@@ -107,6 +123,11 @@ class _FileLinter(ast.NodeVisitor):
         self._wall_funcs: Dict[str, str] = {}      # from-imported name -> mod
         self._set_names: Set[str] = set()
         self._set_attrs: Set[str] = set()
+        normalized = path.replace(os.sep, "/")
+        self._hot_file = any(normalized.endswith(suffix)
+                             for suffix in _HOT_SUFFIXES)
+        self._func_stack: List[str] = []
+        self._loop_depth = 0
         self._parse_pragmas()
 
     # -- pragmas -------------------------------------------------------------
@@ -220,7 +241,28 @@ class _FileLinter(ast.NodeVisitor):
             self._report(node, "R003",
                          "for-loop over a bare set -- wrap the iterable "
                          "in sorted(...)")
-        self.generic_visit(node)
+        # target/iter evaluate once per loop entry, the body (and, for
+        # an async generator, nothing else) once per iteration -- only
+        # the body counts toward R006 loop depth.
+        self.visit(node.target)
+        self.visit(node.iter)
+        self._loop_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        self._loop_depth -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    visit_AsyncFor = visit_For
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.visit(node.test)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._loop_depth -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
 
     def _check_comprehension(self, node) -> None:
         for gen in node.generators:
@@ -228,12 +270,57 @@ class _FileLinter(ast.NodeVisitor):
                 self._report(node, "R003",
                              "comprehension over a bare set -- wrap the "
                              "iterable in sorted(...)")
+        if not isinstance(node, ast.GeneratorExp):
+            self._check_hot_allocation(node, "comprehension")
         self.generic_visit(node)
 
     visit_ListComp = _check_comprehension
     visit_SetComp = _check_comprehension
     visit_DictComp = _check_comprehension
     visit_GeneratorExp = _check_comprehension
+
+    # -- R006: hot-path allocation ---------------------------------------------
+
+    def _visit_function(self, node) -> None:
+        self._func_stack.append(node.name)
+        saved, self._loop_depth = self._loop_depth, 0
+        self.generic_visit(node)
+        self._loop_depth = saved
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _check_hot_allocation(self, node: ast.AST, what: str) -> None:
+        """R006: literal allocation inside a hot-module tick loop."""
+        if not self._hot_file:
+            return
+        ctx = getattr(node, "ctx", None)
+        if ctx is not None and not isinstance(ctx, ast.Load):
+            return
+        in_tick = any(name in ("tick", "_tick")
+                      for name in self._func_stack)
+        if self._loop_depth == 0 and not in_tick:
+            return
+        current = self._func_stack[-1] if self._func_stack else ""
+        if _COLD_FUNC.match(current):
+            return
+        self._report(node, "R006",
+                     f"{what} allocated on the tick hot path -- hoist "
+                     f"it, reuse a scratch structure, or suppress with "
+                     f"a pragma if this branch is rare")
+
+    def visit_List(self, node: ast.List) -> None:
+        self._check_hot_allocation(node, "list literal")
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._check_hot_allocation(node, "set literal")
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._check_hot_allocation(node, "dict literal")
+        self.generic_visit(node)
 
     # -- R004: cycle arithmetic ------------------------------------------------
 

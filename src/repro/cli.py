@@ -9,6 +9,7 @@ Usage::
     python -m repro validate                    # internal consistency checks
     python -m repro check [--skip-mutations]    # litmus + sanitizer suite
     python -m repro lint [paths...]             # determinism linter
+    python -m repro profile [oltp|dss|tpcc]     # hot-path profiling harness
 
 ``--quick`` runs small simulations (~seconds each) for smoke testing;
 the defaults match the benchmark harness.  ``validate``, ``check`` and
@@ -27,6 +28,14 @@ Runner options (accepted before or after the subcommand):
 ``--cache-dir DIR``
     Put the result cache at ``DIR`` instead of the default location
     (equivalent to ``REPRO_CACHE_DIR``, but per-invocation).
+``--no-arenas``
+    Disable trace arenas: every job regenerates its instruction streams
+    instead of replaying a materialized arena.  By default sweeps whose
+    jobs share a workload/seed/run-size materialize the streams once
+    (under ``traces/`` beside the result cache) and replay them
+    everywhere; results are byte-identical either way.
+``--trace-dir DIR``
+    Store trace arenas at ``DIR`` (equivalent to ``REPRO_TRACE_DIR``).
 
 Resilience options (accepted before or after the subcommand):
 
@@ -54,6 +63,7 @@ never change simulated cycle counts.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -179,6 +189,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="DIR",
                         help="result cache location (default: "
                              "$REPRO_CACHE_DIR or .repro-cache/)")
+    common.add_argument("--no-arenas", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="regenerate traces per job instead of "
+                             "replaying materialized arenas")
+    common.add_argument("--trace-dir", default=argparse.SUPPRESS,
+                        metavar="DIR",
+                        help="trace arena location (default: traces/ "
+                             "beside the result cache, or "
+                             "$REPRO_TRACE_DIR)")
     common.add_argument("--retries", type=int, default=argparse.SUPPRESS,
                         metavar="N",
                         help="extra attempts per failed job before "
@@ -217,7 +236,48 @@ def _build_parser() -> argparse.ArgumentParser:
                            "repro package)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+    profile = sub.add_parser(
+        "profile", parents=[common],
+        help="cProfile one simulation; per-subsystem cost and instr/s")
+    profile.add_argument("workload", nargs="?", default="oltp",
+                         choices=["oltp", "dss", "tpcc"])
+    profile.add_argument("--instructions", type=int, default=None,
+                         metavar="N",
+                         help="measured instructions (default: the "
+                              "workload's benchmark size; --quick "
+                              "shrinks it)")
+    profile.add_argument("--warmup", type=int, default=None, metavar="N")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                         help="hottest functions to list (default 10)")
+    profile.add_argument("--compare-arena", action="store_true",
+                         help="materialize + replay a trace arena and "
+                              "report speedup and byte-identity")
+    profile.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the report as JSON")
     return parser
+
+
+def cmd_profile(args, quick: bool) -> int:
+    from repro.run.profile import format_report, profile_run
+    workload = args.workload
+    sizes_key = "dss" if workload == "dss" else "oltp"
+    instr, warm = _sizes(sizes_key, quick)
+    instructions = args.instructions if args.instructions is not None \
+        else instr
+    warmup = args.warmup if args.warmup is not None else warm
+    report = profile_run(workload, instructions=instructions,
+                         warmup=warmup, seed=args.seed, top=args.top,
+                         compare_arena=args.compare_arena)
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_report(report))
+    arena = report.get("arena")
+    if arena is not None and arena.get("materialized") \
+            and not arena.get("identical"):
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -230,7 +290,10 @@ def main(argv=None) -> int:
                              else getattr(args, "cache_dir", None)),
                   retries=getattr(args, "retries", None),
                   job_timeout=getattr(args, "job_timeout", None),
-                  resume=getattr(args, "resume", None))
+                  resume=getattr(args, "resume", None),
+                  arenas="off" if getattr(args, "no_arenas", False)
+                  else None,
+                  trace_dir=getattr(args, "trace_dir", None))
 
     if args.command == "lint":
         from repro.check.lint import RULES, run_lint
@@ -244,6 +307,8 @@ def main(argv=None) -> int:
         ok = run_check_suite(verbose=True,
                              self_test=not args.skip_mutations)
         return 0 if ok else 1
+    if args.command == "profile":
+        return cmd_profile(args, quick)
     if args.command == "sweep-status":
         return cmd_sweep_status()
     if args.command == "characterize":

@@ -38,10 +38,12 @@ from typing import Optional, Tuple
 
 from repro.run.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
 from repro.run.executor import (
+    ARENAS_ENV,
     DEFAULT_POLICY,
     JobOutcome,
     RetryPolicy,
     RunReport,
+    default_arena_mode,
     default_jobs,
     run_many,
 )
@@ -58,6 +60,7 @@ __all__ = [
     "FaultPlan", "InjectedCrash", "plan_from_env",
     "configure", "runner_defaults", "runner_state",
     "shared_cache", "shared_manifest", "retry_policy",
+    "ARENAS_ENV", "default_arena_mode",
 ]
 
 _jobs: int = default_jobs()
@@ -65,6 +68,8 @@ _cache: Optional[ResultCache] = None
 _manifest: Optional[SweepManifest] = None
 _policy: RetryPolicy = DEFAULT_POLICY
 _resume: bool = False
+_arenas: str = default_arena_mode()
+_trace_dir: Optional[str] = None
 if os.environ.get("REPRO_CACHE") == "1":
     _cache = ResultCache()
     _manifest = SweepManifest(_cache.path / MANIFEST_NAME)
@@ -79,6 +84,8 @@ class RunnerState:
     policy: RetryPolicy
     manifest: Optional[SweepManifest]
     resume: bool
+    arenas: str = "auto"
+    trace_dir: Optional[str] = None
 
 
 def configure(jobs: Optional[int] = None,
@@ -86,7 +93,9 @@ def configure(jobs: Optional[int] = None,
               cache_dir: Optional[str] = None,
               retries: Optional[int] = None,
               job_timeout: Optional[float] = None,
-              resume: Optional[bool] = None) -> None:
+              resume: Optional[bool] = None,
+              arenas: Optional[str] = None,
+              trace_dir: Optional[str] = None) -> None:
     """Set process-wide runner defaults.
 
     ``jobs``: worker count for subsequent sweeps (1 = serial).
@@ -98,9 +107,14 @@ def configure(jobs: Optional[int] = None,
     retried (default: unlimited).
     ``resume``: keep completed entries of an existing sweep manifest
     instead of starting sweeps from a clean slate.
+    ``arenas``: trace-arena policy -- ``auto`` (share traces across
+    sweep groups of 2+ jobs; the default), ``on``, or ``off``
+    (booleans accepted).
+    ``trace_dir``: where arenas are stored (default: ``traces/`` beside
+    the result cache when one is active, else ``REPRO_TRACE_DIR``).
     Arguments left as ``None`` keep their current value.
     """
-    global _jobs, _cache, _manifest, _policy, _resume
+    global _jobs, _cache, _manifest, _policy, _resume, _arenas, _trace_dir
     if jobs is not None:
         _jobs = max(1, int(jobs))
     if cache_dir is not None:
@@ -124,6 +138,18 @@ def configure(jobs: Optional[int] = None,
             job_timeout=float(job_timeout) if job_timeout > 0 else None)
     if resume is not None:
         _resume = bool(resume)
+    if arenas is not None:
+        if arenas is True:
+            _arenas = "on"
+        elif arenas is False:
+            _arenas = "off"
+        elif arenas in ("auto", "on", "off"):
+            _arenas = arenas
+        else:
+            raise ValueError(
+                f"arenas must be 'auto', 'on' or 'off', got {arenas!r}")
+    if trace_dir is not None:
+        _trace_dir = str(trace_dir) if trace_dir else None
 
 
 def runner_defaults() -> Tuple[int, Optional[ResultCache]]:
@@ -134,7 +160,8 @@ def runner_defaults() -> Tuple[int, Optional[ResultCache]]:
 def runner_state() -> RunnerState:
     """Full runner configuration consumed by :func:`run_many`."""
     return RunnerState(jobs=_jobs, cache=_cache, policy=_policy,
-                       manifest=_manifest, resume=_resume)
+                       manifest=_manifest, resume=_resume,
+                       arenas=_arenas, trace_dir=_trace_dir)
 
 
 def shared_cache() -> Optional[ResultCache]:

@@ -6,9 +6,15 @@ so callers (figure sweeps, seed sweeps) see exactly the rows they asked
 for.  Dispatch policy:
 
 * every spec is first looked up in the result cache (when one is given);
+* jobs sharing a workload/seed/run-size are grouped onto a **trace
+  arena** (:mod:`repro.trace.arena`): the group's first member runs
+  serially while recording its instruction streams, which are packed and
+  persisted once, and the remaining members replay the arena instead of
+  regenerating their traces;
 * remaining misses run either serially in-process (``jobs=1``, the
-  deterministic baseline) or on a ``ProcessPoolExecutor`` with ``jobs``
-  workers;
+  deterministic baseline) or on the **persistent fork-server pool**
+  (:mod:`repro.run.forkserver`) in chunked batches -- one pickle of a
+  base job plus per-job deltas per chunk;
 * if the pool cannot be created or dies (restricted environments without
   ``fork``/semaphores, interpreter shutdown), the executor falls back to
   the serial path instead of failing the sweep.
@@ -21,14 +27,13 @@ that exhausts its retries is reported as a *failed*
 :class:`JobOutcome` (``result=None``) -- the rest of the sweep keeps
 going.  Progress is journalled through an optional
 :class:`~repro.run.manifest.SweepManifest` so interrupted sweeps resume
-from the incomplete remainder.
+from the incomplete remainder.  When ``job_timeout`` is set, chunks
+shrink to one job so each attempt keeps its own deadline.
 
-Workers receive the plain-dict encoding of the spec and return the
-plain-dict encoding of the result, so nothing that crosses the process
-boundary depends on picklability of live simulator state.  None of the
-resilience machinery touches simulated state: retries re-run the same
-deterministic simulation, so a sweep that survives injected faults
-produces byte-identical results to a fault-free run.
+Arenas never affect results or cache keys: replay is byte-identical to
+generation, an arena defect falls back to the generator path inside the
+job, and the arena reference travels beside the spec -- never inside
+:meth:`~repro.run.jobs.JobSpec.fingerprint`.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ import math
 import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.experiment import SimulationResult
@@ -45,6 +51,19 @@ from repro.run.cache import ResultCache
 from repro.run.faults import plan_from_env
 from repro.run.jobs import JobSpec
 from repro.run.manifest import SweepManifest
+
+#: Environment override for arena usage: ``auto`` (default: share
+#: traces across sweep groups of 2+), ``on`` (materialize even for
+#: singleton groups), ``off`` (generator path only).
+ARENAS_ENV = "REPRO_ARENAS"
+
+_ARENA_MODES = ("auto", "on", "off")
+
+
+def default_arena_mode() -> str:
+    """Arena policy from ``REPRO_ARENAS`` (default ``auto``)."""
+    mode = os.environ.get(ARENAS_ENV, "auto").strip().lower()
+    return mode if mode in _ARENA_MODES else "auto"
 
 
 def _execute_payload(payload: Dict[str, Any], attempt: int = 0
@@ -54,7 +73,9 @@ def _execute_payload(payload: Dict[str, Any], attempt: int = 0
     Fault injection (``REPRO_FAULTS``) happens here, *before* the
     simulation runs, so an injected crash or hang never perturbs
     simulated state -- a retried attempt recomputes the identical
-    result.
+    result.  (The chunked pool path uses
+    :func:`repro.run.forkserver._execute_batch` instead; this single-job
+    entry remains for tools and tests that dispatch one payload.)
     """
     spec = JobSpec.from_dict(payload)
     # Host-side wall time for throughput reporting only; never feeds
@@ -141,6 +162,8 @@ class RunReport:
     wall_time: float = 0.0    # elapsed time of the whole run_many call
     jobs: int = 1             # worker count actually used
     fell_back_to_serial: bool = False
+    trace_gen_s: float = 0.0  # time spent packing/writing trace arenas
+    arena_jobs: int = 0       # jobs dispatched with an arena reference
 
     @property
     def results(self) -> List[Optional[SimulationResult]]:
@@ -172,6 +195,11 @@ class RunReport:
                    if not o.cached and not o.failed)
 
     @property
+    def sim_s(self) -> float:
+        """Wall time net of arena packing/writing overhead."""
+        return max(0.0, self.wall_time - self.trace_gen_s)
+
+    @property
     def throughput(self) -> float:
         """Simulated instructions per wall-clock second."""
         if self.wall_time <= 0:
@@ -182,6 +210,10 @@ class RunReport:
         text = (f"{len(self.outcomes)} jobs ({self.cache_hits} cached) in "
                 f"{self.wall_time:.2f}s with {self.jobs} worker(s), "
                 f"{self.throughput:,.0f} simulated instr/s")
+        if self.arena_jobs:
+            text += f", {self.arena_jobs} replayed from arenas"
+        if self.trace_gen_s > 0:
+            text += f" (trace gen {self.trace_gen_s:.2f}s)"
         if self.retried:
             text += f", {self.retried} retried"
         if self.failures:
@@ -201,13 +233,16 @@ def _failure_text(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-def _serial_attempt(spec: JobSpec, attempt: int
+def _serial_attempt(spec: JobSpec, attempt: int,
+                    workload: Optional[Any] = None
                     ) -> Tuple[SimulationResult, float]:
     """One in-process attempt, with the same fault hooks as a worker.
 
     The clock starts before fault injection: the serial path enforces
     ``job_timeout`` post-hoc from this elapsed time, so a hang must be
-    charged to the attempt for the timeout to ever trip.
+    charged to the attempt for the timeout to ever trip.  ``workload``
+    optionally substitutes a trace arena or recording wrapper for the
+    spec's own generators (see :meth:`JobSpec.run`).
     """
     start = time.perf_counter()  # repro-lint: disable=R002
     plan = plan_from_env()
@@ -215,7 +250,7 @@ def _serial_attempt(spec: JobSpec, attempt: int
         fingerprint = spec.fingerprint()
         plan.maybe_crash(fingerprint, attempt)
         plan.maybe_hang(fingerprint, attempt)
-    result = spec.run()
+    result = spec.run(workload=workload)
     return result, time.perf_counter() - start  # repro-lint: disable=R002
 
 
@@ -242,14 +277,18 @@ def _run_serial(pending: Sequence[Tuple[int, JobSpec]],
                 cache: Optional[ResultCache],
                 outcomes: List[Optional[JobOutcome]],
                 policy: RetryPolicy = DEFAULT_POLICY,
-                manifest: Optional[SweepManifest] = None) -> None:
+                manifest: Optional[SweepManifest] = None,
+                workloads: Optional[Dict[int, Any]] = None) -> None:
+    workloads = workloads or {}
     for index, spec in pending:
-        outcomes[index] = _run_one_serial(spec, cache, policy, manifest)
+        outcomes[index] = _run_one_serial(spec, cache, policy, manifest,
+                                          workload=workloads.get(index))
 
 
 def _run_one_serial(spec: JobSpec, cache: Optional[ResultCache],
                     policy: RetryPolicy,
-                    manifest: Optional[SweepManifest]) -> JobOutcome:
+                    manifest: Optional[SweepManifest],
+                    workload: Optional[Any] = None) -> JobOutcome:
     fingerprint = spec.fingerprint()
     total_elapsed = 0.0
     error = ""
@@ -259,7 +298,8 @@ def _run_one_serial(spec: JobSpec, cache: Optional[ResultCache],
         if manifest is not None:
             manifest.mark_running(fingerprint)
         try:
-            result, elapsed = _serial_attempt(spec, attempt)
+            result, elapsed = _serial_attempt(spec, attempt,
+                                              workload=workload)
         except Exception as exc:   # noqa: BLE001 -- per-job isolation
             error = _failure_text(exc)
             if manifest is not None and attempt < policy.retries:
@@ -280,40 +320,140 @@ def _run_one_serial(spec: JobSpec, cache: Optional[ResultCache],
     return _fail(spec, error, total_elapsed, policy.retries + 1, manifest)
 
 
+# ------------------------------------------------------------------ arenas
+
+def _resolve_trace_dir(trace_dir: Optional[str],
+                       cache: Optional[ResultCache]) -> Optional[Path]:
+    """Where arenas live: explicit dir > ``REPRO_TRACE_DIR`` > beside the
+    result cache > nowhere (arenas disabled)."""
+    from repro.trace import arena as trace_arena
+    if trace_dir is not None:
+        return Path(trace_dir)
+    env = trace_arena.default_trace_dir()
+    if env is not None:
+        return Path(env)
+    if cache is not None:
+        return Path(cache.path) / "traces"
+    return None
+
+
+def _materialize_arenas(pending: Sequence[Tuple[int, JobSpec]],
+                        cache: Optional[ResultCache],
+                        outcomes: List[Optional[JobOutcome]],
+                        policy: RetryPolicy,
+                        manifest: Optional[SweepManifest],
+                        trace_dir: Path,
+                        mode: str) -> Tuple[Dict[int, Any], float]:
+    """Group pending jobs by arena key; ensure each group's arena exists.
+
+    Missing arenas are materialized by running the group's *first*
+    member serially with a recording tee (full retry/timeout/fault
+    semantics apply -- the recording job is an ordinary job); its
+    outcome is filled in directly and the remaining members become arena
+    consumers.  Returns ``(index -> arena handle, seconds spent
+    packing/writing)``.  In ``auto`` mode singleton groups are left on
+    the generator path (an arena can't pay for itself there); ``on``
+    materializes unconditionally.
+    """
+    from repro.trace import arena as trace_arena
+    handles: Dict[int, Any] = {}
+    trace_gen_s = 0.0
+    groups: Dict[str, List[Tuple[int, JobSpec]]] = {}
+    for index, spec in pending:
+        key = trace_arena.arena_key(spec.workload.to_dict(),
+                                    spec.params.n_nodes, spec.seed,
+                                    spec.instructions + spec.warmup)
+        groups.setdefault(key, []).append((index, spec))
+    for key, members in groups.items():
+        if mode == "auto" and len(members) < 2:
+            continue
+        path = trace_dir / f"{key}.arena"
+        handle = trace_arena.load_cached(path)
+        consumers = members
+        if handle is None:
+            index, spec = members[0]
+            consumers = members[1:]
+            try:
+                recorder = trace_arena.ArenaRecorder(
+                    spec.workload.build(), spec.params.n_nodes, spec.seed,
+                    spec.workload.to_dict(),
+                    spec.instructions + spec.warmup)
+                recording = recorder.workload()
+            except Exception:  # noqa: BLE001 -- job isolation owns this
+                recorder, recording = None, None
+            outcomes[index] = _run_one_serial(spec, cache, policy,
+                                              manifest, workload=recording)
+            if recorder is not None and not outcomes[index].failed:
+                started = time.perf_counter()  # repro-lint: disable=R002
+                wrote = recorder.write(path)
+                trace_gen_s += time.perf_counter() - started  # repro-lint: disable=R002
+                if wrote:
+                    handle = trace_arena.load_cached(path)
+        if handle is not None:
+            for index, _spec in consumers:
+                handles[index] = handle
+    return handles, trace_gen_s
+
+
+# -------------------------------------------------------------------- pool
+
+def _chunk_size(n_pending: int, jobs: int, policy: RetryPolicy) -> int:
+    """Jobs per dispatch chunk.
+
+    With a ``job_timeout`` every chunk is a single job so each attempt
+    keeps its own deadline; otherwise aim for ~4 chunks per worker (load
+    balance) capped at 8 jobs per pickle.
+    """
+    if policy.job_timeout is not None:
+        return 1
+    return max(1, min(8, math.ceil(n_pending / (jobs * 4))))
+
+
 def _run_pool(pending: Sequence[Tuple[int, JobSpec]], jobs: int,
               cache: Optional[ResultCache],
               outcomes: List[Optional[JobOutcome]],
               policy: RetryPolicy = DEFAULT_POLICY,
-              manifest: Optional[SweepManifest] = None) -> bool:
-    """Run misses on a process pool; ``False`` if the pool was unusable.
+              manifest: Optional[SweepManifest] = None,
+              arena_paths: Optional[Dict[int, str]] = None) -> bool:
+    """Run misses on the persistent pool; ``False`` if it was unusable.
 
-    Scheduling is slot-limited (at most ``jobs`` in-flight submissions)
-    so a submitted job starts essentially immediately and its deadline
-    can be measured from submission.  An overdue future is abandoned --
-    the worker keeps draining in the background as a *zombie* occupying
-    one slot until its bounded work finishes -- and the job is retried.
-    If zombies ever occupy every slot the pool is recycled wholesale.
-    Job-level exceptions are consumed per future; only pool-level
+    Jobs are dispatched in chunks (:func:`_chunk_size` per future): each
+    chunk ships one base job dict plus per-job deltas and an optional
+    arena reference, and returns per-job outcome dicts, so one pickle
+    amortizes over the chunk while failure isolation stays per job.
+
+    Scheduling is slot-limited (at most ``jobs`` in-flight futures) so a
+    submitted chunk starts essentially immediately and its deadline can
+    be measured from submission (timeouts force single-job chunks).  An
+    overdue future is abandoned -- the worker keeps draining in the
+    background as a *zombie* occupying one slot until its bounded work
+    finishes -- and the job is retried.  If zombies ever occupy every
+    slot the pool is recycled wholesale; a run that ends with zombies
+    outstanding also recycles it so the next sweep starts with clean
+    workers.  Job-level failures are consumed per entry; only pool-level
     breakage (no semaphores, dead workers) aborts to the serial
     fallback, which re-runs exactly the jobs without an outcome.
     """
     try:
         from concurrent.futures import FIRST_COMPLETED, wait
-        from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
     except ImportError:                                # pragma: no cover
         return False
+    from repro.run import forkserver
 
-    try:
-        pool = ProcessPoolExecutor(max_workers=jobs)
-    except (OSError, PermissionError, RuntimeError):
+    pool = forkserver.get_pool(jobs)
+    if pool is None:
         return False
+    arena_paths = arena_paths or {}
+    chunk = _chunk_size(len(pending), jobs, policy)
 
     # Jobs waiting to (re)submit: (not-before time, index, spec, attempt,
-    # elapsed-so-far, last error).  `active` maps future -> submission
-    # record; `zombies` holds abandoned futures still draining a worker.
+    # elapsed-so-far, last error).  `active` maps future -> (chunk
+    # entries, deadline); `zombies` holds abandoned futures still
+    # draining a worker.
     queue: List[Tuple[float, int, JobSpec, int, float, str]] = []
-    active: Dict[Any, Tuple[int, JobSpec, int, float, float]] = {}
+    active: Dict[Any, Tuple[List[Tuple[int, JobSpec, int, float]],
+                            float]] = {}
     zombies: List[Any] = []
     now = time.perf_counter()  # repro-lint: disable=R002
     for index, spec in pending:
@@ -332,44 +472,52 @@ def _run_pool(pending: Sequence[Tuple[int, JobSpec]], jobs: int,
             outcomes[index] = _fail(spec, error, elapsed, attempt + 1,
                                     manifest)
 
+    def submit(ready: List[Tuple[float, int, JobSpec, int, float, str]],
+               at: float) -> None:
+        """Dispatch one chunk of ready queue items as a single future."""
+        entries = [(index, spec, attempt, elapsed)
+                   for (_nb, index, spec, attempt, elapsed, _e) in ready]
+        if manifest is not None:
+            for _index, spec, _attempt, _elapsed in entries:
+                manifest.mark_running(spec.fingerprint())
+        payload = forkserver.make_batch_payload(
+            entries[0][1].to_dict(),
+            [(spec.to_dict(), attempt, arena_paths.get(index))
+             for index, spec, attempt, _elapsed in entries])
+        future = pool.submit(forkserver._execute_batch, payload)
+        active[future] = (entries, policy.deadline_for(at))
+
     try:
         while queue or active:
             now = time.perf_counter()  # repro-lint: disable=R002
             zombies = [future for future in zombies if not future.done()]
 
-            # Submit ready work while slots are free.
+            # Submit ready work in chunks while slots are free.
             free = jobs - len(active) - len(zombies)
             if free > 0 and queue:
                 queue.sort(key=lambda item: item[0])
-                held = []
-                for item in queue:
-                    not_before, index, spec, attempt, elapsed, error = item
-                    if free > 0 and not_before <= now:
-                        if manifest is not None:
-                            manifest.mark_running(spec.fingerprint())
-                        future = pool.submit(_execute_payload,
-                                             spec.to_dict(), attempt)
-                        active[future] = (index, spec, attempt, elapsed,
-                                          policy.deadline_for(now))
-                        free -= 1
-                    else:
-                        held.append(item)
-                queue = held
+                ready = [item for item in queue if item[0] <= now]
+                held = [item for item in queue if item[0] > now]
+                while free > 0 and ready:
+                    submit(ready[:chunk], now)
+                    ready = ready[chunk:]
+                    free -= 1
+                queue = held + ready
 
             # Every slot wedged on an abandoned attempt: recycle the
             # pool so pending retries are not starved forever.
             if len(zombies) >= jobs and (queue or active):
-                pool.shutdown(wait=False, cancel_futures=True)
-                for future, (index, spec, attempt, elapsed,
-                             _deadline) in active.items():
+                forkserver.recycle_pool()
+                for future, (entries, _deadline) in active.items():
                     # Innocent in-flight jobs requeue at the same
                     # attempt; they were not at fault.
-                    queue.append((now, index, spec, attempt, elapsed, ""))
+                    for index, spec, attempt, elapsed in entries:
+                        queue.append((now, index, spec, attempt, elapsed,
+                                      ""))
                 active.clear()
                 zombies = []
-                try:
-                    pool = ProcessPoolExecutor(max_workers=jobs)
-                except (OSError, PermissionError, RuntimeError):
+                pool = forkserver.get_pool(jobs)
+                if pool is None:
                     return False
                 continue
 
@@ -382,7 +530,7 @@ def _run_pool(pending: Sequence[Tuple[int, JobSpec]], jobs: int,
                 continue
 
             # Wake on first completion, next deadline, or next retry.
-            horizon = min(record[4] for record in active.values())
+            horizon = min(record[1] for record in active.values())
             if queue:
                 horizon = min(horizon, min(item[0] for item in queue))
             wait_for = None if horizon == math.inf \
@@ -391,55 +539,76 @@ def _run_pool(pending: Sequence[Tuple[int, JobSpec]], jobs: int,
                            return_when=FIRST_COMPLETED)
 
             for future in done:
-                index, spec, attempt, elapsed, _deadline = \
-                    active.pop(future)
+                entries, _deadline = active.pop(future)
                 at = time.perf_counter()  # repro-lint: disable=R002
                 try:
-                    result_dict, attempt_time = future.result()
+                    batch = future.result()
                 except BrokenProcessPool:
-                    # Pool-level breakage: bail out; the serial fallback
-                    # re-runs every job that has no outcome yet.
+                    # Pool-level breakage: recycle and bail out; the
+                    # serial fallback re-runs every job without an
+                    # outcome yet.
+                    forkserver.recycle_pool()
                     return False
                 except Exception as exc:  # noqa: BLE001 -- per-future
-                    settle(index, spec, attempt, elapsed,
-                           _failure_text(exc), at)
-                else:
-                    result = SimulationResult.from_dict(result_dict)
-                    outcomes[index] = _finish(
-                        spec, result, elapsed + attempt_time, attempt + 1,
-                        cache, manifest)
+                    for index, spec, attempt, elapsed in entries:
+                        settle(index, spec, attempt, elapsed,
+                               _failure_text(exc), at)
+                    continue
+                for (index, spec, attempt, elapsed), job in \
+                        zip(entries, batch):
+                    attempt_time = float(job.get("elapsed", 0.0))
+                    if job.get("ok"):
+                        result = SimulationResult.from_dict(job["result"])
+                        outcomes[index] = _finish(
+                            spec, result, elapsed + attempt_time,
+                            attempt + 1, cache, manifest)
+                    else:
+                        settle(index, spec, attempt,
+                               elapsed + attempt_time,
+                               job.get("error", "worker returned no "
+                                                "outcome"), at)
 
             # Abandon overdue attempts and retry them.
             now = time.perf_counter()  # repro-lint: disable=R002
             for future in [f for f, record in active.items()
-                           if record[4] <= now]:
-                index, spec, attempt, elapsed, _deadline = \
-                    active.pop(future)
+                           if record[1] <= now]:
+                entries, _deadline = active.pop(future)
                 if not future.cancel():
                     zombies.append(future)
-                settle(index, spec, attempt, elapsed,
-                       f"timeout: attempt exceeded "
-                       f"{policy.job_timeout:.2f}s", now)
+                for index, spec, attempt, elapsed in entries:
+                    settle(index, spec, attempt, elapsed,
+                           f"timeout: attempt exceeded "
+                           f"{policy.job_timeout:.2f}s", now)
         return True
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        # The pool outlives this call (warm workers for the next sweep)
+        # unless abandoned attempts are still draining inside it.
+        if zombies:
+            forkserver.recycle_pool()
 
 
 def run_many(specs: Sequence[JobSpec], jobs: Optional[int] = None,
              cache: Optional[ResultCache] = None,
              policy: Optional[RetryPolicy] = None,
              manifest: Optional[SweepManifest] = None,
-             resume: Optional[bool] = None) -> RunReport:
+             resume: Optional[bool] = None,
+             arenas: Optional[str] = None,
+             trace_dir: Optional[str] = None) -> RunReport:
     """Execute ``specs`` and return a report with results in input order.
 
     Arguments left as ``None`` pick up the process-wide configuration
-    (see :func:`repro.run.configure` / ``REPRO_JOBS``): worker count,
-    shared cache, retry policy, sweep manifest, and resume mode.  Failed
-    jobs (retries exhausted) appear as outcomes with ``result=None``
-    rather than aborting the sweep.
+    (see :func:`repro.run.configure` / ``REPRO_JOBS`` /
+    ``REPRO_ARENAS`` / ``REPRO_TRACE_DIR``): worker count, shared cache,
+    retry policy, sweep manifest, resume mode, and arena policy.
+    ``arenas`` is ``auto`` / ``on`` / ``off`` (booleans accepted);
+    ``trace_dir`` overrides where arenas are stored (default: a
+    ``traces/`` directory beside the result cache when one is active).
+    Failed jobs (retries exhausted) appear as outcomes with
+    ``result=None`` rather than aborting the sweep.
     """
     if jobs is None or cache is None or policy is None \
-            or manifest is None or resume is None:
+            or manifest is None or resume is None or arenas is None \
+            or trace_dir is None:
         from repro.run import runner_state
         state = runner_state()
         jobs = state.jobs if jobs is None else jobs
@@ -447,7 +616,15 @@ def run_many(specs: Sequence[JobSpec], jobs: Optional[int] = None,
         policy = state.policy if policy is None else policy
         manifest = state.manifest if manifest is None else manifest
         resume = state.resume if resume is None else resume
+        arenas = state.arenas if arenas is None else arenas
+        trace_dir = state.trace_dir if trace_dir is None else trace_dir
     jobs = max(1, int(jobs))
+    if arenas is True:
+        arenas = "on"
+    elif arenas is False:
+        arenas = "off"
+    elif arenas not in _ARENA_MODES:
+        arenas = "auto"
 
     start = time.perf_counter()  # repro-lint: disable=R002
     if manifest is not None:
@@ -467,22 +644,37 @@ def run_many(specs: Sequence[JobSpec], jobs: Optional[int] = None,
         else:
             pending.append((index, spec))
 
+    trace_gen_s = 0.0
+    arena_handles: Dict[int, Any] = {}
+    if pending and arenas != "off":
+        directory = _resolve_trace_dir(trace_dir, cache)
+        if directory is not None:
+            arena_handles, trace_gen_s = _materialize_arenas(
+                pending, cache, outcomes, policy, manifest, directory,
+                arenas)
+            pending = [p for p in pending if outcomes[p[0]] is None]
+
     fell_back = False
     if pending:
         if jobs > 1 and len(pending) > 1:
+            arena_paths = {index: str(handle.path)
+                           for index, handle in arena_handles.items()}
             ok = _run_pool(pending, min(jobs, len(pending)), cache,
-                           outcomes, policy, manifest)
+                           outcomes, policy, manifest, arena_paths)
             if not ok:
                 fell_back = True
                 _run_serial([p for p in pending
                              if outcomes[p[0]] is None], cache, outcomes,
-                            policy, manifest)
+                            policy, manifest, arena_handles)
         else:
-            _run_serial(pending, cache, outcomes, policy, manifest)
+            _run_serial(pending, cache, outcomes, policy, manifest,
+                        arena_handles)
 
     report = RunReport(outcomes=[o for o in outcomes if o is not None],
                        wall_time=time.perf_counter() - start,  # repro-lint: disable=R002
                        jobs=1 if (jobs == 1 or fell_back) else jobs,
-                       fell_back_to_serial=fell_back)
+                       fell_back_to_serial=fell_back,
+                       trace_gen_s=trace_gen_s,
+                       arena_jobs=len(arena_handles))
     assert len(report.outcomes) == len(specs)
     return report

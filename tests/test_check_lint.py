@@ -175,4 +175,54 @@ class TestDriver:
         assert text.startswith(str(bad) + ":1: R004")
 
     def test_rule_catalog(self):
-        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005"}
+        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005",
+                              "R006"}
+
+
+class TestR006HotPathAllocation:
+    HOT = "cpu/core.py"
+
+    def _codes(self, source, name="cpu/core.py", tmp_path=None):
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        violations, _ = lint_paths([str(path)])
+        return [v.code for v in violations]
+
+    def test_list_in_tick_flagged(self, tmp_path):
+        src = "def tick(self):\n    return [1, 2]\n"
+        assert self._codes(src, tmp_path=tmp_path) == ["R006"]
+
+    def test_dict_in_loop_flagged(self, tmp_path):
+        src = ("def refill(self):\n"
+               "    for i in range(4):\n"
+               "        d = {'k': i}\n")
+        assert self._codes(src, "mem/cache.py", tmp_path) == ["R006"]
+
+    def test_comprehension_in_while_flagged(self, tmp_path):
+        src = ("def drain(self):\n"
+               "    while self.busy:\n"
+               "        xs = [x for x in self.q]\n")
+        assert self._codes(src, tmp_path=tmp_path) == ["R006"]
+
+    def test_pragma_escape(self, tmp_path):
+        src = ("def tick(self):\n"
+               "    return [1]  # repro-lint: disable=R006\n")
+        assert self._codes(src, tmp_path=tmp_path) == []
+
+    def test_cold_functions_exempt(self, tmp_path):
+        src = ("def reset_stats(self):\n"
+               "    for i in range(4):\n"
+               "        y = [i]\n"
+               "def __init__(self):\n"
+               "    for i in range(4):\n"
+               "        z = {i: 1}\n")
+        assert self._codes(src, tmp_path=tmp_path) == []
+
+    def test_allocation_outside_loop_quiet(self, tmp_path):
+        src = "def lookup(self):\n    return [1, 2]\n"
+        assert self._codes(src, tmp_path=tmp_path) == []
+
+    def test_non_hot_module_quiet(self, tmp_path):
+        src = "def tick(self):\n    return [1, 2]\n"
+        assert self._codes(src, "stats/other.py", tmp_path) == []

@@ -282,16 +282,18 @@ class TestPoolResilience:
         real_serial = executor._run_one_serial
 
         def half_done_pool(pending, jobs, cache, outcomes, policy,
-                           manifest):
+                           manifest, arena_paths=None):
             # Complete the first pending job, then report the pool dead.
             index, spec = pending[0]
             outcomes[index] = executor._finish(
                 spec, spec.run(), 0.0, 1, cache, manifest)
             return False
 
-        def tracking_serial(spec, cache, policy, manifest):
+        def tracking_serial(spec, cache, policy, manifest,
+                            workload=None):
             executed.append(spec.seed)
-            return real_serial(spec, cache, policy, manifest)
+            return real_serial(spec, cache, policy, manifest,
+                               workload=workload)
 
         monkeypatch.setattr(executor, "_run_pool", half_done_pool)
         monkeypatch.setattr(executor, "_run_one_serial", tracking_serial)
