@@ -32,8 +32,8 @@ from pathlib import Path
 from conftest import BENCH_JOBS
 
 from repro.params import default_system
-from repro.run import MODEL_VERSION, JobSpec, ResultCache, WorkloadSpec, \
-    run_many
+from repro.run import DEFAULT_CHECKPOINT_EVERY, MODEL_VERSION, JobSpec, \
+    ResultCache, WorkloadSpec, run_many
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
 
@@ -141,3 +141,59 @@ def test_runner_scaling(tmp_path):
         assert parallel_speedup >= 1.0, (
             f"pool slower than serial ({parallel_speedup:.2f}x) "
             f"with {cores} cores")
+
+
+def test_checkpoint_overhead(tmp_path):
+    """Checkpoint writes at the default interval cost <= 5% of sim time.
+
+    One job long enough to cross a couple of default-interval boundaries
+    is run three ways: checkpoints off, at ``DEFAULT_CHECKPOINT_EVERY``,
+    and at a deliberately tiny interval.  The default-interval overhead
+    (``checkpoint_s / sim_s``) is asserted under the 5% budget from the
+    robustness plan; the tiny-interval ratio is recorded in the bench
+    JSON unasserted so the worst-case cost stays visible across PRs.
+    All three runs must return bit-identical results.
+    """
+    instructions = int(os.environ.get("REPRO_BENCH_CKPT_INSTR",
+                                      str(2 * DEFAULT_CHECKPOINT_EVERY
+                                          + 10_000)))
+    spec = JobSpec(default_system(), WorkloadSpec("oltp"),
+                   instructions=instructions, warmup=0, seed=0)
+
+    def once(label, every):
+        cache = ResultCache(tmp_path / f"cache-{label}")
+        return run_many([spec], jobs=1, cache=cache, arenas="off",
+                        checkpoint_every=every)
+
+    off = once("off", 0)
+    default = once("default", DEFAULT_CHECKPOINT_EVERY)
+    tiny_every = max(1_000, instructions // 50)
+    tiny = once("tiny", tiny_every)
+
+    _assert_identical(off, default, "default-interval checkpointing")
+    _assert_identical(off, tiny, "tiny-interval checkpointing")
+
+    default_ratio = default.checkpoint_s / max(default.sim_s, 1e-9)
+    tiny_ratio = tiny.checkpoint_s / max(tiny.sim_s, 1e-9)
+    record = json.loads(BENCH_JSON.read_text()) \
+        if BENCH_JSON.exists() else {"model_version": MODEL_VERSION}
+    record.update({
+        "checkpoint_instr": instructions,
+        "checkpoint_default_every": DEFAULT_CHECKPOINT_EVERY,
+        "checkpoint_default_s": round(default.checkpoint_s, 3),
+        "checkpoint_default_overhead": round(default_ratio, 4),
+        "checkpoint_tiny_every": tiny_every,
+        "checkpoint_tiny_s": round(tiny.checkpoint_s, 3),
+        "checkpoint_tiny_overhead": round(tiny_ratio, 4),
+    })
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\ncheckpoints off {off.wall_time:.2f}s | "
+          f"every {DEFAULT_CHECKPOINT_EVERY:,}: "
+          f"{default.checkpoint_s:.3f}s ckpt "
+          f"({default_ratio:.2%} of sim) | "
+          f"every {tiny_every:,}: {tiny.checkpoint_s:.3f}s ckpt "
+          f"({tiny_ratio:.2%} of sim)")
+
+    assert default_ratio <= 0.05, (
+        f"checkpointing at the default interval costs "
+        f"{default_ratio:.1%} of sim time (budget: 5%)")

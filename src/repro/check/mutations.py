@@ -24,9 +24,11 @@ from repro.check.litmus import store_buffering
 from repro.core.experiment import run_simulation
 from repro.core.workloads import oltp_workload
 from repro.cpu.consistency import ConsistencyUnit
+from repro.cpu.core import ProcessorCore
 from repro.mem.coherence import CoherentMemory
 from repro.params import ConsistencyImpl, ConsistencyModel, default_system
 from repro.stats.breakdown import ExecutionBreakdown
+from repro.system.machine import WedgeError
 
 
 @contextlib.contextmanager
@@ -126,6 +128,45 @@ def mutate_lost_stall_time():
         ExecutionBreakdown.stall = orig
 
 
+@contextlib.contextmanager
+def mutate_lost_lock_release():
+    """Lock releases retire but the lock table keeps the old holder:
+    every other process spins on the acquire forever.  Invisible to the
+    coherence/consistency sanitizer (no protocol rule is broken) -- only
+    the forward-progress watchdog can catch it."""
+    orig = ProcessorCore._retire
+
+    def retire(self, now):
+        before = dict(self.lock_table)
+        orig(self, now)
+        for addr, pid in before.items():
+            if addr not in self.lock_table:
+                self.lock_table[addr] = pid   # the release is lost
+
+    ProcessorCore._retire = retire
+    try:
+        yield
+    finally:
+        ProcessorCore._retire = orig
+
+
+def _wedge_detector() -> str:
+    """Watchdog-armed OLTP run; returns the wedge classification or ''.
+
+    OLTP's lock contention guarantees a lost release leaves some node
+    spinning on an acquire for the rest of the run;
+    ``watchdog_node_cycles`` is sized well above any legitimate stall at
+    this scale so the unmutated run passes.
+    """
+    params = default_system(watchdog_node_cycles=8_000)
+    try:
+        run_simulation(params, oltp_workload(), instructions=12_000,
+                       warmup=0)
+    except WedgeError as wedge:
+        return str(wedge)
+    return ""
+
+
 @dataclass
 class MutationResult:
     name: str
@@ -197,6 +238,10 @@ MUTATIONS: Dict[str, tuple] = {
         mutate_lost_stall_time,
         "half of every stall cycle vanishes from the breakdown",
         _oltp_detector()),
+    "lost-lock-release": (
+        mutate_lost_lock_release,
+        "lock releases retire without freeing the lock table entry",
+        _wedge_detector),
 }
 
 

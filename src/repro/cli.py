@@ -10,6 +10,7 @@ Usage::
     python -m repro check [--skip-mutations]    # litmus + sanitizer suite
     python -m repro lint [paths...]             # determinism linter
     python -m repro profile [oltp|dss|tpcc]     # hot-path profiling harness
+    python -m repro replay BUNDLE               # re-run a crash-triage bundle
 
 ``--quick`` runs small simulations (~seconds each) for smoke testing;
 the defaults match the benchmark harness.  ``validate``, ``check`` and
@@ -53,6 +54,15 @@ Resilience options (accepted before or after the subcommand):
     sweep manifest (written next to the cache) and execute only the
     incomplete remainder.  ``repro sweep-status`` prints the manifest
     without running anything.
+``--checkpoint-every N``
+    Write a mid-simulation checkpoint every ``N`` retired instructions
+    (default 100000, or ``REPRO_CHECKPOINT_EVERY``; 0 disables writes).
+    A killed or crashed attempt resumes from its newest valid
+    checkpoint instead of a cold start, and any failed attempt leaves a
+    replayable triage bundle under ``triage/`` beside the result cache
+    -- ``repro replay <bundle>`` re-runs it deterministically,
+    ``--from-checkpoint`` jumping straight to the checkpointed region.
+    Checkpoints require the result cache (they live beside it).
 
 Deterministic fault injection for exercising all of the above is
 enabled with ``REPRO_FAULTS=crash:0.2,hang:0.1,corrupt:0.1,seed:7``
@@ -138,27 +148,38 @@ def cmd_figure(which: str, workload: Optional[str], quick: bool) -> None:
 
 
 def cmd_report(quick: bool) -> None:
+    from repro.run import profile as run_profile
     manifest = run.shared_manifest()
     if manifest is not None and run.runner_state().resume \
             and len(manifest):
         print(f"resuming: {manifest.format_summary()}")
-    cmd_characterize(quick)
+    run_profile.reset_phase_log()
+    with run_profile.phase("characterize"):
+        cmd_characterize(quick)
     print()
     for which, workload in (("2a", None), ("2b", None), ("2c", None),
                             ("3a", None), ("3b", None), ("3c", None),
                             ("4", None), ("5", "oltp"), ("5", "dss"),
                             ("6", "oltp"), ("6", "dss"),
                             ("7a", None), ("7b", None)):
-        cmd_figure(which, workload, quick)
+        label = f"figure {which}" + (f" {workload}" if workload else "")
+        with run_profile.phase(label):
+            cmd_figure(which, workload, quick)
     cache = run.shared_cache()
     if cache is not None:
         print(cache.format_stats())
     if manifest is not None:
         print(manifest.format_summary())
+    print(run_profile.format_phase_log())
 
 
 def cmd_sweep_status() -> int:
-    """Print manifest progress without running any simulation."""
+    """Print manifest progress without running any simulation.
+
+    Exits nonzero when the manifest records failed jobs, so scripted
+    sweeps (CI, Makefiles) cannot mistake a sweep with gaps for a clean
+    one.
+    """
     manifest = run.shared_manifest()
     if manifest is None:
         print("sweep-status: result cache disabled, no manifest")
@@ -168,6 +189,10 @@ def cmd_sweep_status() -> int:
     cache = run.shared_cache()
     if cache is not None:
         print(cache.format_stats())
+    failed = manifest.counts().get("failed", 0)
+    if failed:
+        print(f"FAILED: {failed} job(s) exhausted retries")
+        return 1
     return 0
 
 
@@ -211,6 +236,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="continue an interrupted sweep from its "
                              "manifest; only the incomplete remainder "
                              "executes")
+    common.add_argument("--checkpoint-every", type=int,
+                        default=argparse.SUPPRESS, metavar="N",
+                        help="write a mid-simulation checkpoint every N "
+                             "retired instructions; killed attempts "
+                             "resume from the newest one (default "
+                             "$REPRO_CHECKPOINT_EVERY or 100000; 0 "
+                             "disables writes)")
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      parents=[common])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -255,7 +287,72 @@ def _build_parser() -> argparse.ArgumentParser:
                               "report speedup and byte-identity")
     profile.add_argument("--json", action="store_true", dest="as_json",
                          help="emit the report as JSON")
+    replay = sub.add_parser(
+        "replay", parents=[common],
+        help="re-run a crash-triage bundle deterministically")
+    replay.add_argument("bundle",
+                        help="bundle directory (or its job.json) written "
+                             "under triage/ beside the result cache")
+    replay.add_argument("--from-checkpoint", action="store_true",
+                        help="resume from the checkpoint copied into the "
+                             "bundle instead of replaying from a cold "
+                             "start")
     return parser
+
+
+def cmd_replay(args) -> int:
+    """Re-run the job captured in a triage bundle.
+
+    The simulator is deterministic, so the failure either reproduces
+    exactly (a simulated wedge or modelling bug -- exit 1, with the
+    classification printed) or the run completes cleanly (the original
+    failure was host-side: an injected fault, OOM, a kill -- exit 0).
+    Fault injection (``REPRO_FAULTS``) is deliberately not consulted.
+    """
+    from repro.run import checkpoint as ckpt
+    from repro.run import triage
+    from repro.run.jobs import JobSpec
+    from repro.system.machine import WedgeError
+    try:
+        data = triage.load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        print(f"replay: cannot load bundle: {exc}")
+        return 2
+    print(triage.format_bundle(data))
+    spec = JobSpec.from_dict(data["job"])
+    # Watchdog settings are ephemeral (they never enter the job
+    # fingerprint), so the bundle carries them separately; re-arm them
+    # or a genuine simulated wedge would hang the replay instead of
+    # reproducing its classification.
+    watchdog = data.get("watchdog") or {}
+    spec = JobSpec(
+        spec.params.replace(
+            watchdog_cycles=int(watchdog.get("cycles", 0) or 0),
+            watchdog_node_cycles=int(watchdog.get("node_cycles", 0)
+                                     or 0)),
+        spec.workload, spec.instructions, spec.warmup, spec.seed)
+    store = None
+    if args.from_checkpoint:
+        if data.get("checkpoint"):
+            store = ckpt.CheckpointStore(data["__dir__"])
+        else:
+            print("replay: bundle holds no checkpoint; replaying from a "
+                  "cold start")
+    try:
+        result, info = ckpt.run_spec(spec, store=store, every=0)
+    except WedgeError as exc:
+        print(f"replay: wedge reproduced: {exc}")
+        return 1
+    except Exception as exc:  # noqa: BLE001 -- report, don't traceback
+        print(f"replay: failure reproduced: "
+              f"{type(exc).__name__}: {exc}")
+        return 1
+    if info.get("resumed_from"):
+        print(f"replay: resumed from checkpoint at "
+              f"{info['resumed_from']} retired instructions")
+    print(f"replay: completed cleanly: {result.cycles} cycles, "
+          f"IPC {result.ipc:.3f} -- the recorded failure was host-side")
+    return 0
 
 
 def cmd_profile(args, quick: bool) -> int:
@@ -293,7 +390,9 @@ def main(argv=None) -> int:
                   resume=getattr(args, "resume", None),
                   arenas="off" if getattr(args, "no_arenas", False)
                   else None,
-                  trace_dir=getattr(args, "trace_dir", None))
+                  trace_dir=getattr(args, "trace_dir", None),
+                  checkpoint_every=getattr(args, "checkpoint_every",
+                                           None))
 
     if args.command == "lint":
         from repro.check.lint import RULES, run_lint
@@ -309,6 +408,8 @@ def main(argv=None) -> int:
         return 0 if ok else 1
     if args.command == "profile":
         return cmd_profile(args, quick)
+    if args.command == "replay":
+        return cmd_replay(args)
     if args.command == "sweep-status":
         return cmd_sweep_status()
     if args.command == "characterize":

@@ -148,6 +148,36 @@ class SimulationResult:
         return "\n".join(lines)
 
 
+def assemble_result(machine: Machine, workload_name: str, cycles: int,
+                    instructions: int) -> SimulationResult:
+    """Collect a :class:`SimulationResult` from a finished machine.
+
+    Shared by :func:`run_simulation` and the checkpointing runner
+    (:mod:`repro.run.checkpoint`): both must derive every figure input
+    from the machine the same way so a resumed run is byte-identical to
+    a monolithic one.
+    """
+    breakdown = machine.breakdown()
+    idle = breakdown.cycles[-1]  # IDLE is the last category
+    total_with_idle = sum(breakdown.cycles)
+    sb_hits = sum(n.stream_buffer.hits for n in machine.nodes)
+    sb_total = sb_hits + sum(n.stream_buffer.misses for n in machine.nodes)
+    return SimulationResult(
+        params=machine.params,
+        workload=workload_name,
+        cycles=cycles,
+        instructions=instructions,
+        breakdown=breakdown,
+        miss_rates=machine.miss_rates(),
+        misprediction_rate=machine.misprediction_rate(),
+        coherence=machine.memory.stats,
+        l1d_mshr=machine.l1d_mshr_stats,
+        l2_mshr=machine.l2_mshr_stats,
+        stream_buffer_hit_rate=sb_hits / sb_total if sb_total else 0.0,
+        idle_fraction=idle / total_with_idle if total_with_idle else 0.0,
+    )
+
+
 def run_simulation(params: SystemParams, workload: Workload,
                    instructions: int = DEFAULT_INSTRUCTIONS,
                    warmup: int = DEFAULT_WARMUP,
@@ -164,23 +194,4 @@ def run_simulation(params: SystemParams, workload: Workload,
         machine.run(warmup)
         machine.reset_stats()
     cycles = machine.run(instructions)
-
-    breakdown = machine.breakdown()
-    idle = breakdown.cycles[-1]  # IDLE is the last category
-    total_with_idle = sum(breakdown.cycles)
-    sb_hits = sum(n.stream_buffer.hits for n in machine.nodes)
-    sb_total = sb_hits + sum(n.stream_buffer.misses for n in machine.nodes)
-    return SimulationResult(
-        params=params,
-        workload=workload.name,
-        cycles=cycles,
-        instructions=instructions,
-        breakdown=breakdown,
-        miss_rates=machine.miss_rates(),
-        misprediction_rate=machine.misprediction_rate(),
-        coherence=machine.memory.stats,
-        l1d_mshr=machine.l1d_mshr_stats,
-        l2_mshr=machine.l2_mshr_stats,
-        stream_buffer_hit_rate=sb_hits / sb_total if sb_total else 0.0,
-        idle_fraction=idle / total_with_idle if total_with_idle else 0.0,
-    )
+    return assemble_result(machine, workload.name, cycles, instructions)

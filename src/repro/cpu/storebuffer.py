@@ -132,3 +132,27 @@ class StoreBuffer:
 
     def reset(self) -> None:
         self._entries.clear()
+
+    def snapshot(self, memo=None) -> dict:
+        """Mutable state for mid-run checkpointing (repro.run.checkpoint)."""
+        entries = []
+        for e in self._entries:
+            entries.append((e.addr, e.pc, e.issued, e.done_at, e.retry_at,
+                            e.is_barrier, e.prefetched))
+        return {"entries": entries,
+                "stores_pushed": self.stores_pushed,
+                "barriers_pushed": self.barriers_pushed}
+
+    def restore(self, state: dict) -> None:
+        """Install state captured by :meth:`snapshot`."""
+        self._entries.clear()
+        for addr, pc, issued, done_at, retry_at, is_barrier, prefetched \
+                in state["entries"]:
+            e = _BufferedStore(addr, pc, is_barrier=is_barrier)
+            e.issued = issued
+            e.done_at = done_at
+            e.retry_at = retry_at
+            e.prefetched = prefetched
+            self._entries.append(e)
+        self.stores_pushed = state["stores_pushed"]
+        self.barriers_pushed = state["barriers_pushed"]

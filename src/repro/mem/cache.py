@@ -9,6 +9,7 @@ distributions via :class:`repro.stats.mshr.MshrOccupancy`.
 
 from __future__ import annotations
 
+import copy
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -86,6 +87,14 @@ class CacheArray:
         """Number of valid lines (testing / introspection)."""
         return sum(len(s) for s in self._sets)
 
+    def snapshot(self, memo=None) -> Dict[str, object]:
+        """Mutable state for mid-run checkpointing (repro.run.checkpoint)."""
+        return {"sets": copy.deepcopy(self._sets, memo)}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Install state captured by :meth:`snapshot`."""
+        self._sets = state["sets"]
+
 
 class MshrEntry:
     __slots__ = ("line", "done_at", "is_read", "exclusive", "started_at")
@@ -152,3 +161,13 @@ class MshrFile:
                                         entry.is_read)
             entry.done_at = done_at
         entry.exclusive = entry.exclusive or exclusive
+
+    def snapshot(self, memo=None) -> Dict[str, object]:
+        """Mutable state for mid-run checkpointing (repro.run.checkpoint).
+        ``stats`` is a shared collector owned by the machine and snapshotted
+        there, not here."""
+        return {"entries": copy.deepcopy(self._entries, memo)}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Install state captured by :meth:`snapshot`."""
+        self._entries = state["entries"]

@@ -25,8 +25,9 @@ subsequent remote read is serviced by memory instead of cache-to-cache.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.params import MemoryLatencies
 from repro.mem.interconnect import MeshNetwork
@@ -162,6 +163,12 @@ class CoherentMemory:
         # the ablation benchmark verifies that claim.
         self.migratory_protocol = migratory_protocol
         self.migratory_exclusive_grants = 0
+        # Forward-progress watchdog scratch: when armed (a dict), counts
+        # exclusive-ownership transfers per line since the last retirement
+        # machine-wide -- repeated transfers on one line with no progress
+        # is the coherence-livelock signature.  None = disarmed (default);
+        # never snapshotted, never affects timing.
+        self._ping: Optional[Dict[int, int]] = None
 
     # -- helpers -----------------------------------------------------------
 
@@ -250,6 +257,8 @@ class CoherentMemory:
                     e.owner = node
                     e.sharers = set()
                     self.migratory_exclusive_grants += 1
+                    if self._ping is not None:
+                        self._ping[line] = self._ping.get(line, 0) + 1
                     return done, SVC_DIRTY, True
                 # Owner's copy is demoted to shared; memory has the data.
                 self._downgrade_node(owner, line)
@@ -303,6 +312,8 @@ class CoherentMemory:
             or (e.state == DIR_SHARED and (e.sharers - {node})))
         if cached_elsewhere:
             self.stats.shared_writes += 1
+            if self._ping is not None:
+                self._ping[line] = self._ping.get(line, 0) + 1
 
         # Migratory detection heuristic (paper footnote 2).
         if (copies == 2 and e.last_writer != -1 and e.last_writer != node
@@ -406,3 +417,23 @@ class CoherentMemory:
         e.sharers.discard(node)
         if e.state == DIR_SHARED and not e.sharers:
             e.state = DIR_INVALID
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self, memo=None) -> Dict[str, object]:
+        """Mutable state for mid-run checkpointing (repro.run.checkpoint).
+        Hooks are wiring (rebuilt when the node memory systems register
+        themselves) and ``_ping`` is run-local, so neither is captured."""
+        return {"dir_next_free": list(self._dir_next_free),
+                "mem_next_free": list(self._mem_next_free),
+                "entries": copy.deepcopy(self._entries, memo),
+                "stats": copy.deepcopy(self.stats, memo),
+                "migratory_exclusive_grants": self.migratory_exclusive_grants}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Install state captured by :meth:`snapshot`."""
+        self._dir_next_free = list(state["dir_next_free"])
+        self._mem_next_free = list(state["mem_next_free"])
+        self._entries = state["entries"]
+        self.stats = state["stats"]
+        self.migratory_exclusive_grants = state["migratory_exclusive_grants"]

@@ -187,6 +187,13 @@ class SystemParams:
                                             # (repro.check); never affects
                                             # timing, excluded from
                                             # serialization/fingerprints
+    watchdog_cycles: int = 0                # forward-progress watchdog:
+                                            # abort with WedgeError when no
+                                            # instruction retires machine-wide
+                                            # for this many cycles (0 = off);
+                                            # ephemeral like `check`
+    watchdog_node_cycles: int = 0           # same, per node with a runnable
+                                            # process (0 = off)
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:

@@ -41,7 +41,7 @@ _ENUMS = {
 # Fields that configure tooling rather than the simulated machine; they
 # must not leak into saved configs or cache fingerprints (a sanitizer-on
 # run produces bit-identical results to a sanitizer-off run).
-_EPHEMERAL = {"check"}
+_EPHEMERAL = {"check", "watchdog_cycles", "watchdog_node_cycles"}
 
 _NESTED = {
     "processor": ProcessorParams,

@@ -37,6 +37,12 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.run.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from repro.run.checkpoint import (
+    CHECKPOINT_EVERY_ENV,
+    DEFAULT_CHECKPOINT_EVERY,
+    CheckpointStore,
+    checkpoint_every_from_env,
+)
 from repro.run.executor import (
     ARENAS_ENV,
     DEFAULT_POLICY,
@@ -61,6 +67,8 @@ __all__ = [
     "configure", "runner_defaults", "runner_state",
     "shared_cache", "shared_manifest", "retry_policy",
     "ARENAS_ENV", "default_arena_mode",
+    "CheckpointStore", "CHECKPOINT_EVERY_ENV",
+    "DEFAULT_CHECKPOINT_EVERY", "checkpoint_every_from_env",
 ]
 
 _jobs: int = default_jobs()
@@ -70,6 +78,7 @@ _policy: RetryPolicy = DEFAULT_POLICY
 _resume: bool = False
 _arenas: str = default_arena_mode()
 _trace_dir: Optional[str] = None
+_checkpoint_every: int = checkpoint_every_from_env()
 if os.environ.get("REPRO_CACHE") == "1":
     _cache = ResultCache()
     _manifest = SweepManifest(_cache.path / MANIFEST_NAME)
@@ -86,6 +95,7 @@ class RunnerState:
     resume: bool
     arenas: str = "auto"
     trace_dir: Optional[str] = None
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
 
 
 def configure(jobs: Optional[int] = None,
@@ -95,7 +105,8 @@ def configure(jobs: Optional[int] = None,
               job_timeout: Optional[float] = None,
               resume: Optional[bool] = None,
               arenas: Optional[str] = None,
-              trace_dir: Optional[str] = None) -> None:
+              trace_dir: Optional[str] = None,
+              checkpoint_every: Optional[int] = None) -> None:
     """Set process-wide runner defaults.
 
     ``jobs``: worker count for subsequent sweeps (1 = serial).
@@ -112,9 +123,15 @@ def configure(jobs: Optional[int] = None,
     (booleans accepted).
     ``trace_dir``: where arenas are stored (default: ``traces/`` beside
     the result cache when one is active, else ``REPRO_TRACE_DIR``).
+    ``checkpoint_every``: mid-simulation checkpoint interval in retired
+    instructions (0 disables writes; default
+    :data:`DEFAULT_CHECKPOINT_EVERY`, overridable via
+    ``REPRO_CHECKPOINT_EVERY``).  Checkpoints only activate when the
+    result cache is enabled -- they live beside it.
     Arguments left as ``None`` keep their current value.
     """
-    global _jobs, _cache, _manifest, _policy, _resume, _arenas, _trace_dir
+    global _jobs, _cache, _manifest, _policy, _resume, _arenas, \
+        _trace_dir, _checkpoint_every
     if jobs is not None:
         _jobs = max(1, int(jobs))
     if cache_dir is not None:
@@ -150,6 +167,8 @@ def configure(jobs: Optional[int] = None,
                 f"arenas must be 'auto', 'on' or 'off', got {arenas!r}")
     if trace_dir is not None:
         _trace_dir = str(trace_dir) if trace_dir else None
+    if checkpoint_every is not None:
+        _checkpoint_every = max(0, int(checkpoint_every))
 
 
 def runner_defaults() -> Tuple[int, Optional[ResultCache]]:
@@ -161,7 +180,8 @@ def runner_state() -> RunnerState:
     """Full runner configuration consumed by :func:`run_many`."""
     return RunnerState(jobs=_jobs, cache=_cache, policy=_policy,
                        manifest=_manifest, resume=_resume,
-                       arenas=_arenas, trace_dir=_trace_dir)
+                       arenas=_arenas, trace_dir=_trace_dir,
+                       checkpoint_every=_checkpoint_every)
 
 
 def shared_cache() -> Optional[ResultCache]:

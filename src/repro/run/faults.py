@@ -2,7 +2,8 @@
 
 The resilience layer (retries, timeouts, cache quarantine) is only
 trustworthy if every recovery path can be demonstrated on demand.  This
-module injects three kinds of *host-side* faults -- worker crashes,
+module injects four kinds of *host-side* faults -- worker crashes at
+job start, crashes mid-simulation (right after a checkpoint lands),
 hangs past the job timeout, and corrupted cache writes -- without ever
 touching simulated state: a fault delays or re-runs a job, but the
 simulation itself is deterministic, so the surviving results are
@@ -14,12 +15,15 @@ Activation is via the ``REPRO_FAULTS`` environment variable::
 
 Recognised keys:
 
-``crash:P``    probability a job attempt raises :class:`InjectedCrash`
-``hang:P``     probability a job attempt sleeps ``hang_s`` seconds
-               before running (long enough to trip ``--job-timeout``)
-``corrupt:P``  probability a cache write is truncated or bit-flipped
-``seed:N``     integer folded into every fault decision (default 0)
-``hang_s:S``   injected hang duration in seconds (default 30)
+``crash:P``     probability a job attempt raises :class:`InjectedCrash`
+``hang:P``      probability a job attempt sleeps ``hang_s`` seconds
+                before running (long enough to trip ``--job-timeout``)
+``corrupt:P``   probability a cache write is truncated or bit-flipped
+``midcrash:P``  per-checkpoint-boundary probability the attempt crashes
+                *mid-simulation*, right after a checkpoint was written
+                (exercises checkpoint resume, see repro.run.checkpoint)
+``seed:N``      integer folded into every fault decision (default 0)
+``hang_s:S``    injected hang duration in seconds (default 30)
 
 Every decision is a pure function of ``(seed, kind, fingerprint,
 attempt)`` hashed through sha256 -- no global RNG state, no wall clock
@@ -44,7 +48,7 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: sensible ``--job-timeout`` yet bounded, so abandoned workers drain.
 DEFAULT_HANG_SECONDS = 30.0
 
-_PROB_KEYS = ("crash", "hang", "corrupt")
+_PROB_KEYS = ("crash", "hang", "corrupt", "midcrash")
 
 
 class InjectedCrash(Exception):
@@ -63,6 +67,7 @@ class FaultPlan:
     crash: float = 0.0
     hang: float = 0.0
     corrupt: float = 0.0
+    midcrash: float = 0.0
     seed: int = 0
     hang_seconds: float = DEFAULT_HANG_SECONDS
 
@@ -101,7 +106,8 @@ class FaultPlan:
 
     @property
     def active(self) -> bool:
-        return bool(self.crash or self.hang or self.corrupt)
+        return bool(self.crash or self.hang or self.corrupt
+                    or self.midcrash)
 
     # ------------------------------------------------------------- rolling
 
@@ -125,6 +131,25 @@ class FaultPlan:
             raise InjectedCrash(
                 f"injected crash (job {fingerprint[:12]}, "
                 f"attempt {attempt})")
+
+    def maybe_midcrash(self, fingerprint: str, attempt: int,
+                       boundary: int) -> None:
+        """Raise :class:`InjectedCrash` right after the checkpoint at
+        ``boundary`` retired instructions was written, if selected.
+
+        The boundary index is folded into the roll key, so one attempt
+        rolls independently at every checkpoint, and a retried attempt
+        rolls independently again past the boundary it resumed from --
+        retries therefore make forward progress and eventually finish.
+        """
+        if self.midcrash <= 0.0:
+            return
+        if self._unit(f"midcrash:{boundary}", fingerprint,
+                      attempt) < self.midcrash:
+            raise InjectedCrash(
+                f"injected mid-run crash (job {fingerprint[:12]}, "
+                f"attempt {attempt}, after checkpoint at {boundary} "
+                f"retired)")
 
     def maybe_hang(self, fingerprint: str, attempt: int = 0) -> bool:
         """Sleep ``hang_seconds`` if selected; returns whether it fired."""

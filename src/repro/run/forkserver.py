@@ -163,11 +163,15 @@ def apply_delta(base_flat: Dict[Tuple[str, ...], Any],
 
 def make_batch_payload(base: Dict[str, Any],
                        entries: Sequence[Tuple[Dict[str, Any], int,
-                                               Optional[str]]]
-                       ) -> Dict[str, Any]:
+                                               Optional[str]]],
+                       cache_dir: Optional[str] = None,
+                       checkpoint_every: int = 0) -> Dict[str, Any]:
     """Build one chunk payload from ``(job dict, attempt, arena path)``
     triples.  Captures the parent's current fault plan explicitly so
     persistent workers never act on a stale inherited environment.
+    ``cache_dir`` (when set) is where workers keep checkpoints and write
+    crash-triage bundles; ``checkpoint_every`` is the checkpoint
+    interval in retired instructions (0 disables checkpoint writes).
     """
     base_flat = flatten(base)
     return {
@@ -176,6 +180,8 @@ def make_batch_payload(base: Dict[str, Any],
                   "attempt": attempt, "arena": arena}
                  for job, attempt, arena in entries],
         "faults": os.environ.get(FAULTS_ENV, ""),
+        "cache_dir": cache_dir,
+        "checkpoint_every": int(checkpoint_every),
     }
 
 
@@ -192,9 +198,12 @@ def _execute_batch(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     """
     base_flat = flatten(payload["base"])
     plan = plan_from_env(payload.get("faults", ""))
+    cache_dir = payload.get("cache_dir")
+    every = int(payload.get("checkpoint_every", 0) or 0)
     outcomes: List[Dict[str, Any]] = []
     for entry in payload["jobs"]:
         start = time.perf_counter()  # repro-lint: disable=R002
+        info: Dict[str, Any] = {}
         try:
             spec = JobSpec.from_dict(apply_delta(base_flat,
                                                  entry["delta"]))
@@ -203,18 +212,31 @@ def _execute_batch(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
                 plan.maybe_crash(fingerprint, entry["attempt"])
                 plan.maybe_hang(fingerprint, entry["attempt"])
             workload = _arena_workload(entry.get("arena"))
-            result = spec.run(workload=workload)
+            if cache_dir:
+                from repro.run import checkpoint as ckpt
+                store = ckpt.CheckpointStore.for_job(
+                    cache_dir, spec.fingerprint()) if every > 0 else None
+                result, info = ckpt.run_spec(
+                    spec, workload=workload, store=store, every=every,
+                    faults=plan, attempt=entry["attempt"],
+                    triage_dir=cache_dir)
+            else:
+                result = spec.run(workload=workload)
         except Exception as exc:  # noqa: BLE001 -- per-job isolation
             outcomes.append({
                 "ok": False,
                 "error": f"{type(exc).__name__}: {exc}",
                 "elapsed": time.perf_counter() - start,  # repro-lint: disable=R002
+                "bundle": getattr(exc, "__triage_bundle__", ""),
+                "start_offset": getattr(exc, "__resumed_from__", 0),
             })
         else:
             outcomes.append({
                 "ok": True,
                 "result": result.to_dict(),
                 "elapsed": time.perf_counter() - start,  # repro-lint: disable=R002
+                "ckpt_s": float(info.get("ckpt_s", 0.0)),
+                "resumed_from": int(info.get("resumed_from", 0)),
             })
     return outcomes
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -46,6 +46,11 @@ class JobRecord:
     attempts: int = 0
     cached: bool = False      # last completion served from the cache
     error: str = ""           # last failure text ("" when clean)
+    #: Per-attempt outcome entries ({attempt, outcome, error,
+    #: start_offset}), deduplicated by attempt number: the host timeout
+    #: and a late worker failure can both try to close one attempt, and
+    #: exactly one record must win (see SweepManifest.mark_attempt).
+    attempt_log: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -56,6 +61,15 @@ class JobRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "JobRecord":
+        log = []
+        for entry in data.get("attempt_log") or []:
+            if isinstance(entry, dict) and "attempt" in entry:
+                log.append({
+                    "attempt": int(entry["attempt"]),
+                    "outcome": str(entry.get("outcome", "")),
+                    "error": str(entry.get("error", "")),
+                    "start_offset": int(entry.get("start_offset", 0)),
+                })
         return cls(
             fingerprint=str(data["fingerprint"]),
             label=str(data.get("label", "")),
@@ -63,6 +77,7 @@ class JobRecord:
             attempts=int(data.get("attempts", 0)),
             cached=bool(data.get("cached", False)),
             error=str(data.get("error", "")),
+            attempt_log=log,
         )
 
 
@@ -178,6 +193,32 @@ class SweepManifest:
         record.error = error
         self.flush()
 
+    def mark_attempt(self, fingerprint: str, attempt: int, outcome: str,
+                     error: str = "", start_offset: int = 0) -> bool:
+        """Record one attempt's outcome; first writer wins per attempt.
+
+        Two host-side paths can race to close the same attempt: the
+        parent's ``--job-timeout`` deadline abandons it while the worker
+        (or its in-simulator watchdog) reports a failure for it.  The
+        attempt number keys the log, so the second writer is a no-op
+        and the manifest holds exactly one outcome per attempt.
+        ``start_offset`` is the retired-instruction count the attempt
+        resumed from (0 = cold start); returns whether the entry landed.
+        """
+        record = self._record(fingerprint)
+        attempt = int(attempt)
+        if any(entry.get("attempt") == attempt
+               for entry in record.attempt_log):
+            return False
+        record.attempt_log.append({
+            "attempt": attempt,
+            "outcome": outcome,
+            "error": error,
+            "start_offset": int(start_offset),
+        })
+        self.flush()
+        return True
+
     # ------------------------------------------------------------ queries
 
     def __len__(self) -> int:
@@ -223,8 +264,12 @@ class SweepManifest:
                 note = f"  [{record.error}]" if record.error else ""
                 origin = " (cached)" if record.cached and \
                     record.status == "done" else ""
+                resumed = max(
+                    (int(entry.get("start_offset", 0))
+                     for entry in record.attempt_log), default=0)
+                offset = f" resumed@{resumed}" if resumed else ""
                 lines.append(
                     f"  {record.fingerprint[:12]}  {record.status:<8s} "
-                    f"attempts={record.attempts}{origin}  "
+                    f"attempts={record.attempts}{origin}{offset}  "
                     f"{record.label}{note}")
         return "\n".join(lines)

@@ -17,11 +17,12 @@ cross-check the benchmark and CI smoke enforce.
 from __future__ import annotations
 
 import cProfile
+import contextlib
 import json
 import pstats
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.experiment import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.params import default_system
@@ -31,6 +32,84 @@ from repro.run.jobs import JobSpec, WorkloadSpec
 #: else inside the package is charged to its module name, and stdlib /
 #: builtin frames to ``python``.
 _PACKAGE = "repro"
+
+
+# ------------------------------------------------------------ phase costs
+
+#: Per-phase execution accounting collected by :func:`phase` and
+#: rendered at the end of ``repro report``: for each report phase, the
+#: wall time and how much of it went to simulation, arena generation
+#: and checkpoint writes (watchdog polling is part of the simulate
+#: column -- it runs inside the cycle loop).
+_phase_log: List[Dict[str, Any]] = []
+
+
+def reset_phase_log() -> None:
+    _phase_log.clear()
+
+
+@contextlib.contextmanager
+def phase(name: str):
+    """Time one report phase, attributing runner costs by delta.
+
+    Samples the executor's process-wide totals before and after, so the
+    phase row shows exactly what *this* phase spent on simulation,
+    trace-arena generation and checkpoint writes, and how many of its
+    jobs were cache hits or checkpoint resumes.
+    """
+    from repro.run.executor import run_totals
+    before = run_totals()
+    started = time.perf_counter()  # repro-lint: disable=R002
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - started  # repro-lint: disable=R002
+        after = run_totals()
+        delta = {key: after[key] - before[key] for key in after}
+        _phase_log.append({
+            "phase": name,
+            "wall_s": elapsed,
+            "sim_s": max(0.0, delta["wall_s"] - delta["trace_gen_s"]
+                         - delta["checkpoint_s"]),
+            "trace_gen_s": delta["trace_gen_s"],
+            "checkpoint_s": delta["checkpoint_s"],
+            "jobs": int(delta["jobs"]),
+            "cache_hits": int(delta["cache_hits"]),
+            "resumed": int(delta["resumed"]),
+            "failed": int(delta["failed"]),
+        })
+
+
+def format_phase_log() -> str:
+    """The per-phase cost table printed at the end of ``repro report``."""
+    if not _phase_log:
+        return "per-phase cost: nothing recorded"
+    lines = ["per-phase cost (simulate / arena gen / checkpoints):"]
+    for row in _phase_log:
+        notes = []
+        if row["cache_hits"]:
+            notes.append(f"{row['cache_hits']} cached")
+        if row["resumed"]:
+            notes.append(f"{row['resumed']} resumed")
+        if row["failed"]:
+            notes.append(f"{row['failed']} FAILED")
+        suffix = f"  ({', '.join(notes)})" if notes else ""
+        lines.append(
+            f"  {row['phase']:<16s} {row['wall_s']:>7.2f}s total: "
+            f"{row['sim_s']:>7.2f}s sim, {row['trace_gen_s']:>5.2f}s "
+            f"arenas, {row['checkpoint_s']:>5.2f}s ckpt, "
+            f"{row['jobs']:>3d} job(s){suffix}")
+    total = {key: sum(row[key] for row in _phase_log)
+             for key in ("wall_s", "sim_s", "trace_gen_s",
+                         "checkpoint_s")}
+    overhead = total["checkpoint_s"] / total["sim_s"] \
+        if total["sim_s"] > 0 else 0.0
+    lines.append(
+        f"  {'TOTAL':<16s} {total['wall_s']:>7.2f}s total: "
+        f"{total['sim_s']:>7.2f}s sim, {total['trace_gen_s']:>5.2f}s "
+        f"arenas, {total['checkpoint_s']:>5.2f}s ckpt "
+        f"({overhead:.1%} checkpoint overhead)")
+    return "\n".join(lines)
 
 
 def _subsystem_of(filename: str) -> str:

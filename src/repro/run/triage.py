@@ -1,0 +1,174 @@
+"""Self-contained crash-triage bundles for failed experiment jobs.
+
+When a job attempt dies -- an injected fault, a forward-progress
+watchdog trip (:class:`~repro.system.machine.WedgeError`), or a genuine
+modelling bug -- the bare manifest line ("failed after N attempts")
+forces whoever investigates to reconstruct the run by hand.  A triage
+bundle instead captures everything needed to reproduce and classify the
+failure offline, under ``<cache>/triage/<fingerprint[:12]>-a<attempt>/``:
+
+``job.json``
+    The full job description (``JobSpec.to_dict()``), fingerprint,
+    model version, attempt number, the error type/message, the
+    structured wedge classification when the watchdog tripped, the
+    watchdog configuration, and the checkpoint offset the attempt
+    resumed from.
+``ck-*.ckpt``
+    A copy of the newest checkpoint the attempt wrote (when
+    checkpointing was active), so ``repro replay --from-checkpoint``
+    can jump straight to the interesting region.
+``stream-tail.json``
+    The tail of each process's buffered instruction stream at the time
+    of death -- the instructions in flight (unretired or buffered ahead
+    of fetch), decoded to mnemonics.
+
+``repro replay <bundle>`` rebuilds the job from ``job.json`` and
+re-runs it deterministically; because the simulator is deterministic,
+the failure either reproduces exactly (a simulated wedge or modelling
+bug) or the run completes (the original failure was host-side).
+
+Bundle writes are best-effort: an unwritable cache degrades to a
+warning, never masks the original failure.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import warnings
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.run.jobs import MODEL_VERSION, JobSpec
+from repro.system.machine import Machine, WedgeError
+from repro.trace.instr import OP_NAMES
+
+#: Subdirectory of the result cache holding triage bundles.
+TRIAGE_DIR = "triage"
+
+#: ``job.json`` schema version.
+BUNDLE_FORMAT = 1
+
+#: Buffered instructions kept per process in ``stream-tail.json``.
+STREAM_TAIL = 32
+
+
+def bundle_dir(cache_dir: Union[str, Path], fingerprint: str,
+               attempt: int) -> Path:
+    return Path(cache_dir) / TRIAGE_DIR / f"{fingerprint[:12]}-a{attempt}"
+
+
+def _stream_tails(machine: Machine) -> List[Dict[str, Any]]:
+    """Per-process tails of the in-flight instruction window."""
+    tails = []
+    for process in machine.processes:
+        buf = list(process.trace._buf)[-STREAM_TAIL:]
+        tails.append({
+            "pid": process.pid,
+            "cpu": process.cpu,
+            "consumed": process.trace.consumed,
+            "resume_seq": process.resume_seq,
+            "tail": [{"op": OP_NAMES.get(ins.op, str(ins.op)),
+                      "pc": f"{ins.pc:#x}",
+                      "addr": f"{ins.addr:#x}"} for ins in buf],
+        })
+    return tails
+
+
+def write_bundle(cache_dir: Union[str, Path], *, spec: JobSpec,
+                 fingerprint: str, attempt: int, error: BaseException,
+                 machine: Optional[Machine] = None,
+                 checkpoints: Sequence[Path] = (),
+                 resumed_from: int = 0) -> Optional[Path]:
+    """Write one triage bundle; returns its directory or ``None``.
+
+    ``checkpoints`` is the failing job's checkpoint file list (oldest
+    first); the newest is copied into the bundle.  ``machine`` may be
+    ``None`` when the failure predates machine construction (the bundle
+    then holds the job description and error only).
+    """
+    directory = bundle_dir(cache_dir, fingerprint, attempt)
+    payload: Dict[str, Any] = {
+        "format": BUNDLE_FORMAT,
+        "model_version": MODEL_VERSION,
+        "fingerprint": fingerprint,
+        "attempt": attempt,
+        "job": spec.to_dict(),
+        "error": {"type": type(error).__name__, "message": str(error)},
+        "wedge": error.to_dict() if isinstance(error, WedgeError)
+        else None,
+        "watchdog": {"cycles": spec.params.watchdog_cycles,
+                     "node_cycles": spec.params.watchdog_node_cycles},
+        "resumed_from": int(resumed_from),
+        "retired": machine.total_retired() if machine is not None
+        else None,
+        "cycle": machine.now if machine is not None else None,
+        "checkpoint": None,
+    }
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        if checkpoints:
+            newest = checkpoints[-1]
+            shutil.copy2(newest, directory / newest.name)
+            payload["checkpoint"] = newest.name
+        if machine is not None:
+            tails = _stream_tails(machine)
+            with open(directory / "stream-tail.json", "w") as fh:
+                json.dump(tails, fh, indent=1)
+        with open(directory / "job.json", "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+    except OSError as exc:
+        warnings.warn(
+            f"triage bundle write failed for {fingerprint[:12]} "
+            f"({type(exc).__name__}: {exc})", RuntimeWarning,
+            stacklevel=2)
+        return None
+    return directory
+
+
+def load_bundle(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse and minimally validate a bundle's ``job.json``.
+
+    ``path`` may be the bundle directory or the ``job.json`` itself.
+    Raises ``ValueError`` on a malformed bundle and ``OSError`` when
+    unreadable.
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / "job.json"
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("format") != BUNDLE_FORMAT:
+        raise ValueError(
+            f"{path} is not a format-{BUNDLE_FORMAT} triage bundle")
+    for key in ("job", "fingerprint", "attempt", "error"):
+        if key not in data:
+            raise ValueError(f"{path} is missing {key!r}")
+    data["__dir__"] = str(path.parent)
+    return data
+
+
+def format_bundle(data: Dict[str, Any]) -> str:
+    """One-screen human summary of a loaded bundle."""
+    error = data["error"]
+    lines = [
+        f"job          {data['fingerprint'][:12]} "
+        f"(attempt {data['attempt']})",
+        f"workload     {data['job']['workload']['kind']} "
+        f"i={data['job']['instructions']} w={data['job']['warmup']} "
+        f"seed={data['job']['seed']}",
+        f"error        {error['type']}: {error['message']}",
+    ]
+    wedge = data.get("wedge")
+    if wedge:
+        where = "machine-wide" if wedge.get("node") is None \
+            else f"node {wedge['node']}"
+        lines.append(f"wedge        {wedge['kind']} ({where}) at cycle "
+                     f"{wedge['cycle']}, {wedge['retired']} retired")
+        if wedge.get("detail"):
+            lines.append(f"             {wedge['detail']}")
+    if data.get("resumed_from"):
+        lines.append(f"resumed from {data['resumed_from']} retired")
+    if data.get("checkpoint"):
+        lines.append(f"checkpoint   {data['checkpoint']}")
+    return "\n".join(lines)

@@ -14,9 +14,16 @@ the simulation cost.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence
+import copy
+from typing import Dict, Iterator, List, Optional, Sequence
 
-from repro.cpu.core import FAR_FUTURE, ProcessorCore
+from repro.cpu.core import (
+    FAR_FUTURE,
+    ST_MEMACC,
+    ST_MEMQ,
+    ProcessorCore,
+    WindowEntry,
+)
 from repro.cpu.smt import SmtCore
 from repro.mem.coherence import CoherentMemory
 from repro.mem.interconnect import MeshNetwork
@@ -27,10 +34,47 @@ from repro.stats.breakdown import ExecutionBreakdown
 from repro.stats.mshr import MshrOccupancyGroup
 from repro.system.process import Process
 from repro.system.scheduler import CpuScheduler
+from repro.trace.instr import OP_LOCK_ACQ, OP_NAMES
+
+#: Version stamp embedded in Machine.snapshot() payloads; bump whenever
+#: the captured state shape changes incompatibly.
+SNAPSHOT_FORMAT = 1
+
+#: Exclusive-ownership transfers on a single line, with no instruction
+#: retiring anywhere, before the watchdog calls it a coherence livelock.
+LIVELOCK_TRANSFERS = 8
 
 
 class DeadlockError(RuntimeError):
     """The simulation cannot make progress (indicates a modelling bug)."""
+
+
+class WedgeError(RuntimeError):
+    """The forward-progress watchdog tripped: no instruction retired for
+    the configured number of cycles (``SystemParams.watchdog_cycles`` /
+    ``watchdog_node_cycles``).  Carries a structured classification so
+    crash-triage bundles and ``repro replay`` can report the wedge kind
+    without parsing the message."""
+
+    def __init__(self, kind: str, cycle: int, node: Optional[int] = None,
+                 line: Optional[int] = None, retired: int = 0,
+                 detail: str = ""):
+        self.kind = kind
+        self.cycle = cycle
+        self.node = node
+        self.line = line
+        self.retired = retired
+        self.detail = detail
+        where = "machine-wide" if node is None else f"node {node}"
+        super().__init__(
+            f"forward-progress watchdog tripped ({where}) at cycle "
+            f"{cycle}, {retired} retired: {kind}"
+            + (f" -- {detail}" if detail else ""))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "cycle": self.cycle, "node": self.node,
+                "line": self.line, "retired": self.retired,
+                "detail": self.detail}
 
 
 class Machine:
@@ -129,7 +173,38 @@ class Machine:
         handle_syscall = self._handle_syscall
         indexed_cores = list(enumerate(cores))
         now = self.now
-        while sum(core.retired for core in cores) < target:
+        # Forward-progress watchdog (off by default: one extra branch per
+        # iteration).  All of its bookkeeping lives in run()-locals so
+        # checkpoints never capture it.
+        wd_global = self.params.watchdog_cycles
+        wd_node = self.params.watchdog_node_cycles
+        wd_on = wd_global > 0 or wd_node > 0
+        if wd_on:
+            if self.memory._ping is None:
+                self.memory._ping = {}
+            wd_total = self.total_retired()
+            wd_cycle = now
+            wd_node_retired = [core.retired for core in cores]
+            wd_node_cycle = [now] * len(cores)
+        while True:
+            total_now = sum(core.retired for core in cores)
+            if total_now >= target:
+                break
+            if wd_on:
+                if total_now != wd_total:
+                    wd_total = total_now
+                    wd_cycle = now
+                    self.memory._ping.clear()
+                elif wd_global and now - wd_cycle >= wd_global:
+                    raise self._classify_wedge(now, node=None)
+                if wd_node:
+                    for cpu, core in indexed_cores:
+                        r = core.retired
+                        if r != wd_node_retired[cpu] or core.process is None:
+                            wd_node_retired[cpu] = r
+                            wd_node_cycle[cpu] = now
+                        elif now - wd_node_cycle[cpu] >= wd_node:
+                            raise self._classify_wedge(now, node=cpu)
             if now >= deadline:
                 raise DeadlockError(
                     f"exceeded {max_cycles} cycles at "
@@ -163,6 +238,141 @@ class Machine:
         if self.checker is not None:
             self.checker.check_run_end()
         return now - start_cycle
+
+    # ---------------------------------------------------------------- watchdog
+
+    def _classify_wedge(self, now: int, node: Optional[int]) -> WedgeError:
+        """Build a classified WedgeError: coherence livelock (ownership
+        ping-pong on one line) > head-of-ROB memory stall > empty-ROB
+        fetch stall > unknown."""
+        retired = self.total_retired()
+        ping = self.memory._ping or {}
+        if ping:
+            # Hottest line; ties broken toward the lowest line number so
+            # the classification is deterministic.
+            line = max(ping, key=lambda ln: (ping[ln], -ln))
+            if ping[line] >= LIVELOCK_TRANSFERS:
+                return WedgeError(
+                    "coherence-livelock", now, node=node, line=line,
+                    retired=retired,
+                    detail=f"line {line} changed exclusive owner "
+                           f"{ping[line]} times with no retirement")
+        cpus = list(range(len(self.cores)))
+        if node is not None:
+            cpus.remove(node)
+            cpus.insert(0, node)
+        fetch_stall: Optional[WedgeError] = None
+        for cpu in cpus:
+            for phys in self.cores[cpu].physical_cores():
+                if phys.process is None:
+                    continue
+                if phys._window:
+                    head = phys._window[0]
+                    if head.state not in (ST_MEMQ, ST_MEMACC):
+                        continue
+                    op = head.instr.op
+                    detail = (f"head of ROB: {OP_NAMES[op]} "
+                              f"pc={head.instr.pc:#x} "
+                              f"addr={head.instr.addr:#x} "
+                              f"state={'memq' if head.state == ST_MEMQ else 'memacc'} "
+                              f"retry_at={head.retry_at}")
+                    if op == OP_LOCK_ACQ:
+                        holder = self.lock_table.get(head.instr.addr)
+                        detail += f" (lock held by pid {holder})"
+                    return WedgeError("memory-stall", now, node=cpu,
+                                      retired=retired, detail=detail)
+                elif fetch_stall is None and \
+                        now < phys._fetch_blocked_until:
+                    until = phys._fetch_blocked_until
+                    what = "unresolved branch" if until >= FAR_FUTURE \
+                        else f"I-fetch until cycle {until}"
+                    fetch_stall = WedgeError(
+                        "fetch-stall", now, node=cpu, retired=retired,
+                        detail=f"empty window, fetch blocked ({what})")
+        if fetch_stall is not None:
+            return fetch_stall
+        return WedgeError("unknown", now, node=node, retired=retired,
+                          detail="no core matched a known wedge signature")
+
+    # ---------------------------------------------------------------- checkpoint
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture all mutable simulation state as a picklable dict.
+
+        One deepcopy memo is threaded through every component so shared
+        objects (window entries across heaps, instructions shared between
+        window entries and trace buffers, processes across schedulers and
+        cores) keep their identity inside the snapshot.  Wiring -- hooks,
+        callbacks, generators, the checker -- is never captured: restore
+        targets a freshly constructed machine that already has it.
+        """
+        memo: dict = {}
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "now": self.now,
+            "idle_cycles": self.idle_cycles,
+            "measure_started_at": self._measure_started_at,
+            "lock_table": dict(self.lock_table),
+            "page_table": self.page_table.snapshot(memo),
+            "mesh": self.mesh.snapshot(memo),
+            "memory": self.memory.snapshot(memo),
+            "l1d_mshr_stats": self.l1d_mshr_stats.snapshot(memo),
+            "l2_mshr_stats": self.l2_mshr_stats.snapshot(memo),
+            "processes": [p.snapshot(memo) for p in self.processes],
+            "schedulers": [s.snapshot(memo) for s in self.schedulers],
+            "nodes": [nd.snapshot(memo) for nd in self.nodes],
+            "cores": [c.snapshot(memo) for c in self.cores],
+            "next_uid": WindowEntry._next_uid,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Install a :meth:`snapshot` onto this machine.
+
+        Must be called on a freshly constructed, never-run machine built
+        from the same params with fresh generators.  After restoring, the
+        caller re-seeks each process's trace source past the consumed
+        prefix (``trace_consumed``) -- or builds the generators pre-seeked
+        (arena replay) -- before calling :meth:`run` again.
+        """
+        if state.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"snapshot format {state.get('format')!r} != "
+                f"{SNAPSHOT_FORMAT}")
+        # One fresh deepcopy isolates this machine from the stored payload
+        # (so a later restore from the same checkpoint starts clean) while
+        # preserving the identity relationships within the snapshot.
+        state = copy.deepcopy(state)
+        self.now = state["now"]
+        self.idle_cycles = state["idle_cycles"]
+        self._measure_started_at = state["measure_started_at"]
+        # Cores hold references to the lock table: mutate it in place.
+        self.lock_table.clear()
+        self.lock_table.update(state["lock_table"])
+        self.page_table.restore(state["page_table"])
+        self.mesh.restore(state["mesh"])
+        self.memory.restore(state["memory"])
+        self.l1d_mshr_stats.restore(state["l1d_mshr_stats"])
+        self.l2_mshr_stats.restore(state["l2_mshr_stats"])
+        by_pid = {p.pid: p for p in self.processes}
+        for process, sub in zip(self.processes, state["processes"]):
+            process.restore(sub)
+        for sched, sub in zip(self.schedulers, state["schedulers"]):
+            sched.restore(sub, by_pid)
+        for node, sub in zip(self.nodes, state["nodes"]):
+            node.restore(sub)
+        for core, sub in zip(self.cores, state["cores"]):
+            core.restore(sub, by_pid)
+        # Monotonic tie-breaker: future entries must sort after every
+        # restored one; other machines in this interpreter may have pushed
+        # the class counter further, which is fine (only relative order
+        # within one core's heaps matters).
+        if state["next_uid"] > WindowEntry._next_uid:
+            WindowEntry._next_uid = state["next_uid"]
+
+    def trace_consumed(self) -> List[int]:
+        """Per-pid count of instructions already pulled from each trace
+        source (a restored machine's fresh sources must skip these)."""
+        return [p.trace.consumed for p in self.processes]
 
     # ---------------------------------------------------------------- statistics
 

@@ -268,20 +268,31 @@ class TraceArena:
 
     # -- Workload protocol -------------------------------------------------
 
-    def generators(self, n_cpus: int, seed: int = 0) -> List[Iterator]:
+    def generators(self, n_cpus: int, seed: int = 0,
+                   skips: Optional[Sequence[int]] = None) -> List[Iterator]:
         """Replay iterators for every process, validated against the
-        arena's recorded machine shape."""
+        arena's recorded machine shape.  ``skips`` (one entry per
+        process) starts each stream that many instructions in -- an O(1)
+        seek used by checkpoint restore (repro.run.checkpoint)."""
         if n_cpus != self.n_nodes or seed != self.seed:
             raise ArenaMismatch(
                 f"arena {self.path.name} was materialized for "
                 f"n_nodes={self.n_nodes} seed={self.seed}, requested "
                 f"n_nodes={n_cpus} seed={seed}")
-        return [self.replay(pid) for pid in range(len(self.counts))]
+        if skips is None:
+            skips = [0] * len(self.counts)
+        if len(skips) != len(self.counts):
+            raise ArenaMismatch(
+                f"arena {self.path.name} holds {len(self.counts)} "
+                f"streams, got {len(skips)} skip offsets")
+        return [self.replay(pid, skip=skip)
+                for pid, skip in enumerate(skips)]
 
-    def replay(self, pid: int) -> Iterator[Instruction]:
-        """Lazy instruction stream of one process."""
-        start = self._starts[pid]
-        n = self.counts[pid]
+    def replay(self, pid: int, skip: int = 0) -> Iterator[Instruction]:
+        """Lazy instruction stream of one process, starting ``skip``
+        instructions in (index arithmetic -- no decode of the prefix)."""
+        start = self._starts[pid] + skip
+        n = self.counts[pid] - skip
         op = self._op
         meta = self._meta
         lat = self._lat

@@ -67,6 +67,8 @@ def clean_runner(monkeypatch):
     monkeypatch.setattr(repro.run, "_manifest", None)
     monkeypatch.setattr(repro.run, "_policy", DEFAULT_POLICY)
     monkeypatch.setattr(repro.run, "_resume", False)
+    monkeypatch.setattr(repro.run, "_checkpoint_every",
+                        repro.run.DEFAULT_CHECKPOINT_EVERY)
     monkeypatch.delenv("REPRO_FAULTS", raising=False)
 
 
@@ -282,7 +284,7 @@ class TestPoolResilience:
         real_serial = executor._run_one_serial
 
         def half_done_pool(pending, jobs, cache, outcomes, policy,
-                           manifest, arena_paths=None):
+                           manifest, arena_paths=None, **kw):
             # Complete the first pending job, then report the pool dead.
             index, spec = pending[0]
             outcomes[index] = executor._finish(
@@ -290,10 +292,10 @@ class TestPoolResilience:
             return False
 
         def tracking_serial(spec, cache, policy, manifest,
-                            workload=None):
+                            workload=None, **kw):
             executed.append(spec.seed)
             return real_serial(spec, cache, policy, manifest,
-                               workload=workload)
+                               workload=workload, **kw)
 
         monkeypatch.setattr(executor, "_run_pool", half_done_pool)
         monkeypatch.setattr(executor, "_run_one_serial", tracking_serial)
