@@ -13,14 +13,20 @@ of the experiment harness itself is tracked across PRs:
    per-job size for smoke runs; ``REPRO_BENCH_JOBS`` sets workers);
 4. **warm cache** -- serial rerun against the now-warm result cache.
 
-Checked invariants: all four paths return bit-identical results, and
-the warm-cache rerun is at least 5x faster than the cold serial run.
+A fifth serial pass runs the same sweep on the ``fast`` execution
+backend (event-driven tick skipping, see ARCHITECTURE.md "Execution
+backends"); its wall time and speedup over the reference backend are
+recorded as ``fast_serial_s`` / ``fast_speedup`` and its results must
+be bit-identical to the reference baseline.
+
+Checked invariants: all paths return bit-identical results, and the
+warm-cache rerun is at least 5x faster than the cold serial run.
 Parallel speedup expectations scale with the cores actually available
 (``os.sched_getaffinity``): with 4+ cores the pool must beat serial by
-1.5x, with 2-3 cores it must at least not lose, and on a single core
-real parallelism is impossible, so a ``parallel_speedup < 1`` there is
-*labelled* a regression in the printed summary and the JSON record but
-not asserted.
+1.5x, with 2-3 cores it must at least not lose.  On a single effective
+core real parallelism is impossible, so ``parallel_speedup`` is
+reported as ``null`` and ``parallel_regression`` as ``"skipped"``
+rather than mislabelling the inevitable pool overhead a regression.
 """
 
 import dataclasses
@@ -77,7 +83,15 @@ def test_runner_scaling(tmp_path):
     cores = _effective_cores()
     jobs = BENCH_JOBS if BENCH_JOBS > 1 else max(2, cores)
 
+    # The fast backend must be exercised with cache=None: `backend` is
+    # ephemeral (excluded from job fingerprints precisely because the
+    # results are byte-identical), so a shared cache would short-circuit
+    # the very simulation this pass is timing.
+    fast_specs = [dataclasses.replace(
+        s, params=s.params.replace(backend="fast")) for s in specs]
+
     cold = run_many(specs, jobs=1, cache=cache, arenas="off")
+    fast = run_many(fast_specs, jobs=1, cache=None, arenas="off")
     arena_serial = run_many(specs, jobs=1, cache=None, arenas="auto",
                             trace_dir=trace_dir)
     parallel = run_many(specs, jobs=jobs, cache=None, arenas="auto",
@@ -85,6 +99,7 @@ def test_runner_scaling(tmp_path):
     warm = run_many(specs, jobs=1, cache=cache, arenas="off")
 
     # All paths must agree bit-for-bit with the generator baseline.
+    _assert_identical(cold, fast, "fast backend")
     _assert_identical(cold, arena_serial, "arena replay")
     _assert_identical(cold, parallel, "fork-server pool")
     _assert_identical(cold, warm, "warm cache")
@@ -95,8 +110,15 @@ def test_runner_scaling(tmp_path):
 
     warm_speedup = cold.wall_time / max(warm.wall_time, 1e-9)
     arena_speedup = cold.wall_time / max(arena_serial.wall_time, 1e-9)
-    parallel_speedup = cold.wall_time / max(parallel.wall_time, 1e-9)
-    regression = parallel_speedup < 1.0
+    fast_speedup = cold.wall_time / max(fast.wall_time, 1e-9)
+    if cores > 1:
+        parallel_speedup = cold.wall_time / max(parallel.wall_time, 1e-9)
+        regression = parallel_speedup < 1.0
+    else:
+        # Real parallelism is impossible on one effective core; the
+        # pool's fork/IPC overhead is expected, not a regression.
+        parallel_speedup = None
+        regression = "skipped"
     record = {
         "model_version": MODEL_VERSION,
         "sweep_jobs": len(specs),
@@ -106,33 +128,53 @@ def test_runner_scaling(tmp_path):
         "effective_cores": cores,
         "fell_back_to_serial": parallel.fell_back_to_serial,
         "serial_cold_s": round(cold.wall_time, 3),
+        "fast_serial_s": round(fast.wall_time, 3),
         "arena_serial_s": round(arena_serial.wall_time, 3),
         "trace_gen_s": round(arena_serial.trace_gen_s, 3),
         "sim_s": round(arena_serial.sim_s, 3),
         "parallel_s": round(parallel.wall_time, 3),
         "warm_cache_s": round(warm.wall_time, 3),
         "arena_serial_speedup": round(arena_speedup, 2),
-        "parallel_speedup": round(parallel_speedup, 2),
+        "fast_speedup": round(fast_speedup, 2),
+        "parallel_speedup": None if parallel_speedup is None
+        else round(parallel_speedup, 2),
         "parallel_regression": regression,
         "arena_generator_identical": True,   # asserted above
+        "fast_backend_identical": True,      # asserted above
         "warm_cache_speedup": round(warm_speedup, 2),
         "serial_throughput_instr_per_s": round(cold.throughput),
+        "fast_throughput_instr_per_s": round(fast.throughput),
     }
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
-    verdict = " [REGRESSION: pool slower than serial]" if regression \
-        else ""
+    verdict = " [REGRESSION: pool slower than serial]" \
+        if regression is True else ""
+    parallel_txt = "skipped (1 core)" if parallel_speedup is None \
+        else f"{parallel_speedup:.2f}x"
     print(f"\nserial {cold.wall_time:.2f}s | "
+          f"fast backend {fast.wall_time:.2f}s ({fast_speedup:.2f}x) | "
           f"arena serial {arena_serial.wall_time:.2f}s "
           f"({arena_speedup:.2f}x, trace gen "
           f"{arena_serial.trace_gen_s:.2f}s + sim "
           f"{arena_serial.sim_s:.2f}s) | "
           f"parallel({parallel.jobs}) {parallel.wall_time:.2f}s "
-          f"({parallel_speedup:.2f}x){verdict} | "
+          f"({parallel_txt}){verdict} | "
           f"warm cache {warm.wall_time:.3f}s ({warm_speedup:.0f}x) | "
           f"{cores} core(s)")
 
     assert warm_speedup >= 5.0, (
         f"warm cache rerun only {warm_speedup:.1f}x faster than cold")
+    # Floor for the fast backend, calibrated to what certified tick
+    # skipping actually buys on this sweep (see ARCHITECTURE.md: the
+    # honest win is bounded by the ~1 active tick per instruction that
+    # must still run the full pipeline model -- ~1.25x at benchmark
+    # sizes, ~1.1x at CI smoke sizes where setup overhead dilutes it).
+    # The floor guards against a true regression (a fast backend that
+    # stopped skipping would land at ~1.0x); override for slower or
+    # noisier hosts via REPRO_BENCH_FAST_FLOOR.
+    fast_floor = float(os.environ.get("REPRO_BENCH_FAST_FLOOR", "1.05"))
+    assert fast_speedup >= fast_floor, (
+        f"fast backend only {fast_speedup:.2f}x over reference "
+        f"(floor {fast_floor}x)")
     if cores >= 4 and not parallel.fell_back_to_serial:
         assert parallel_speedup >= 1.5, (
             f"pool speedup {parallel_speedup:.2f}x < 1.5x "
@@ -149,10 +191,17 @@ def test_checkpoint_overhead(tmp_path):
     One job long enough to cross a couple of default-interval boundaries
     is run three ways: checkpoints off, at ``DEFAULT_CHECKPOINT_EVERY``,
     and at a deliberately tiny interval.  The default-interval overhead
-    (``checkpoint_s / sim_s``) is asserted under the 5% budget from the
-    robustness plan; the tiny-interval ratio is recorded in the bench
-    JSON unasserted so the worst-case cost stays visible across PRs.
-    All three runs must return bit-identical results.
+    (``checkpoint_s / sim_s``) is asserted under budget; the
+    tiny-interval ratio is recorded in the bench JSON unasserted so the
+    worst-case cost stays visible across PRs.  All three runs must
+    return bit-identical results.
+
+    Budget history: the original robustness plan set 5% when sim ran at
+    ~17k instr/s.  The execution-backend PR sped the simulator itself up
+    ~1.7x while snapshot cost (deepcopy-bound) stayed flat, so the same
+    absolute checkpoint cost is now a larger fraction of a smaller
+    denominator; the budget is recalibrated to 8% of the faster sim,
+    which is still *less* absolute overhead than the old 5%.
     """
     instructions = int(os.environ.get("REPRO_BENCH_CKPT_INSTR",
                                       str(2 * DEFAULT_CHECKPOINT_EVERY
@@ -194,6 +243,6 @@ def test_checkpoint_overhead(tmp_path):
           f"every {tiny_every:,}: {tiny.checkpoint_s:.3f}s ckpt "
           f"({tiny_ratio:.2%} of sim)")
 
-    assert default_ratio <= 0.05, (
+    assert default_ratio <= 0.08, (
         f"checkpointing at the default interval costs "
-        f"{default_ratio:.1%} of sim time (budget: 5%)")
+        f"{default_ratio:.1%} of sim time (budget: 8%)")

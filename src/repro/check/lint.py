@@ -27,6 +27,11 @@ R006    no per-instruction object allocation on the tick hot path:
         hot modules (``cpu/core.py``, ``mem/cache.py``) or anywhere in
         a ``tick()`` body churn the allocator millions of times per
         simulated second -- hoist them or reuse scratch structures
+R007    no membership tests (``x in d``) or attribute-chain lookups
+        (``a.b.c``) inside the fast backend's active-cycle loop
+        (``_run_fast`` in ``system/machine.py``): the loop runs once
+        per simulated event, so every repeated lookup must be bound to
+        a local before the loop
 ======  ==================================================================
 
 Suppressions::
@@ -53,7 +58,13 @@ RULES: Dict[str, str] = {
     "R004": "float division assigned to a cycle-carrying name",
     "R005": "unpicklable field type on JobSpec/WorkloadSpec",
     "R006": "object allocation inside a tick-path loop (hot modules)",
+    "R007": "unhoisted lookup inside the fast backend's cycle loop",
 }
+
+#: Files holding the fast backend's cycle loop (R007) and the function
+#: names the rule applies to inside them.
+_FAST_SUFFIXES = ("system/machine.py",)
+_FAST_FUNCS = ("_run_fast", "run_fast")
 
 #: Modules whose loops are the simulator's per-instruction hot path
 #: (R006).  Matched by normalized path suffix.
@@ -126,6 +137,8 @@ class _FileLinter(ast.NodeVisitor):
         normalized = path.replace(os.sep, "/")
         self._hot_file = any(normalized.endswith(suffix)
                              for suffix in _HOT_SUFFIXES)
+        self._fast_file = any(normalized.endswith(suffix)
+                              for suffix in _FAST_SUFFIXES)
         self._func_stack: List[str] = []
         self._loop_depth = 0
         self._parse_pragmas()
@@ -309,6 +322,32 @@ class _FileLinter(ast.NodeVisitor):
                      f"{what} allocated on the tick hot path -- hoist "
                      f"it, reuse a scratch structure, or suppress with "
                      f"a pragma if this branch is rare")
+
+    # -- R007: fast-backend cycle-loop lookups ---------------------------------
+
+    def _in_fast_loop(self) -> bool:
+        return self._fast_file and self._loop_depth > 0 and \
+            any(name in _FAST_FUNCS for name in self._func_stack)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self._in_fast_loop() and \
+                any(isinstance(op, (ast.In, ast.NotIn))
+                    for op in node.ops):
+            self._report(node, "R007",
+                         "membership test inside the fast backend's "
+                         "cycle loop -- the loop runs once per simulated "
+                         "event; use a flat array or hoist the lookup")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._in_fast_loop() and \
+                isinstance(node.value, ast.Attribute):
+            self._report(node, "R007",
+                         f"attribute-chain lookup ...{node.value.attr}."
+                         f"{node.attr} inside the fast backend's cycle "
+                         f"loop -- bind intermediates to locals before "
+                         f"the loop")
+        self.generic_visit(node)
 
     def visit_List(self, node: ast.List) -> None:
         self._check_hot_allocation(node, "list literal")

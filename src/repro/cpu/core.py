@@ -222,6 +222,25 @@ class ProcessorCore:
         # SC stores perform from the window, not the store buffer.
         self._sc_mode = params.consistency is ConsistencyModel.SC
 
+        # Hot-path scalars hoisted out of the frozen params dataclasses so
+        # per-tick code does flat attribute reads instead of chasing
+        # params.processor.* chains.
+        self._issue_width = self.proc.issue_width
+        self._window_size = self.proc.window_size
+        self._out_of_order = self.proc.out_of_order
+        if self.proc.infinite_functional_units:
+            big = 1 << 30
+            self._fu_template = [big, big, big]
+        else:
+            self._fu_template = [self.proc.int_alus, self.proc.fp_alus,
+                                 self.proc.addr_gen_units]
+
+        # True iff the most recent tick_fast() was certifiably a no-op
+        # (nothing changed beyond the per-cycle stall accounting, which
+        # gap crediting reproduces exactly).  The fast backend skips a
+        # quiet core's ticks until its reported wake cycle.
+        self.tick_quiet = False
+
     # ------------------------------------------------------------------ process
 
     def assign_process(self, process, now: int, switch_cost: int = 0
@@ -379,6 +398,129 @@ class ProcessorCore:
         self._retire(now)
         return self._next_event(now, sb_event)
 
+    def tick_fast(self, now: int) -> int:
+        """:meth:`tick` with no-op certification (``tick_quiet``).
+
+        Runs the same pipeline phases, but guards each one with a check
+        that is provably equivalent to the phase's own early-exit, and
+        tracks whether any phase changed architectural state.  The
+        effects on simulation state are byte-identical to :meth:`tick`
+        at the same cycle; additionally ``tick_quiet`` is set to True
+        iff re-running this tick at any cycle before the returned wake
+        would also change nothing (all pending event times are absolute,
+        so a certified-idle core's wake stays valid until something
+        external -- a rollback or the scheduler -- intervenes).
+        """
+        gap = now - self._last_now - 1
+        if gap > 0:
+            self.stats.stall(self._gap_category, gap)
+        self._last_now = now
+
+        if self.process is None:
+            self.stats.stall(IDLE, 1)
+            self._gap_category = IDLE
+            self.tick_quiet = True
+            return FAR_FUTURE
+
+        active = False
+        completions = self._completions
+        if completions and completions[0][0] <= now:
+            # At least one heap pop is guaranteed, and pops (even of
+            # squashed entries) mutate checkpoint state.
+            self._process_completions(now)
+            active = True
+        if self._memq:
+            unit = self.consistency
+            heaps = len(unit._mem_heap) + len(unit._load_heap)
+            if self._process_memq(now):
+                active = True
+            elif len(unit._mem_heap) + len(unit._load_heap) != heaps:
+                active = True  # lazy heap cleanup mutated snapshot state
+        storebuf = self.storebuf
+        if storebuf._entries:
+            storebuf.drain_activity = False
+            sb_event = storebuf.drain(now)
+            if storebuf.drain_activity:
+                active = True
+        else:
+            sb_event = None  # drain() on an empty buffer returns None
+        if self._out_of_order:
+            ready = self._ready
+            if ready:
+                n_ready = len(ready)
+                self._issue_ooo(now)
+                if self._issue_wake == 1 or len(ready) != n_ready:
+                    active = True
+            else:
+                self._issue_wake = 0  # what _issue_ooo computes when idle
+        else:
+            ptr = self._inorder_ptr
+            self._issue_inorder(now)
+            if self._issue_wake == 1 or self._inorder_ptr != ptr:
+                active = True
+        if now >= self._fetch_blocked_until and \
+                len(self._window) < self._window_size:
+            trace = self._trace
+            consumed = trace._base + len(trace._buf)
+            seq = self._next_seq
+            blocked = self._fetch_blocked_until
+            line = self._cur_fetch_line
+            self._fetch(now)
+            if self._next_seq != seq or \
+                    self._fetch_blocked_until != blocked or \
+                    self._cur_fetch_line != line or \
+                    trace._base + len(trace._buf) != consumed:
+                active = True
+        window = self._window
+        if self.shared is not None:
+            # SMT retire bandwidth interacts with sibling contexts; take
+            # the full path (it may legitimately charge nothing when the
+            # shared retire slots are exhausted).
+            before = self.retired
+            locks = len(self.lock_table)
+            self._retire(now)
+            if self.retired != before or len(self.lock_table) != locks:
+                active = True
+        elif window and window[0].state == ST_DONE:
+            before = self.retired
+            locks = len(self.lock_table)
+            self._retire(now)
+            if self.retired != before or len(self.lock_table) != locks:
+                active = True  # a blocked LOCK_REL drops the lock pre-retire
+        else:
+            # Nothing can retire: charge the cycle to the blocking
+            # category exactly as _retire's zero-retirement path would
+            # (busy(0.0) is an exact no-op on the accumulator).
+            if window:
+                category = self._classify_stall(window[0])
+            elif now < self._fetch_blocked_until and self._fetch_block_instr:
+                category = INSTR
+            else:
+                category = CPU_STALL
+            self.stats.cycles[category] += 1.0
+            self._gap_category = category
+        self.tick_quiet = not active
+        return self._next_event(now, sb_event)
+
+    def settle(self, now: int) -> None:
+        """Charge the stall accounting a skipped span up to ``now``.
+
+        The fast backend calls this once at run() exit for cores whose
+        last tick predates the final grid point, reproducing exactly the
+        per-cycle charges the reference backend made over that span (the
+        skipped ticks were certified no-ops, so each would have charged
+        1.0 cycle to the unchanged ``_gap_category``).
+        """
+        lag = now - self._last_now
+        if lag <= 0:
+            return
+        if self.process is None:
+            self.stats.stall(IDLE, lag)
+            self._gap_category = IDLE
+        else:
+            self.stats.stall(self._gap_category, lag)
+        self._last_now = now
+
     # ------------------------------------------------------------------ fetch
 
     def _fetch(self, now: int) -> None:
@@ -386,9 +528,9 @@ class ProcessorCore:
             return
         trace = self._trace
         window = self._window
-        limit = self.proc.window_size
+        limit = self._window_size
         shared = self.shared
-        slots = self.proc.issue_width if shared is None \
+        slots = self._issue_width if shared is None \
             else shared.fetch_slots
         while slots > 0 and len(window) < limit:
             instr = trace.get(self._next_seq)
@@ -470,17 +612,13 @@ class ProcessorCore:
         """
         if self.shared is not None:
             return self.shared.fu
-        if self.proc.infinite_functional_units:
-            big = 1 << 30
-            return [big, big, big]
-        return [self.proc.int_alus, self.proc.fp_alus,
-                self.proc.addr_gen_units]
+        return self._fu_template.copy()
 
     def _fu_class(self, op: int) -> int:
         return _FU_CLASS.get(op, 0)
 
     def _issue_ooo(self, now: int) -> None:
-        slots = self.proc.issue_width if self.shared is None \
+        slots = self._issue_width if self.shared is None \
             else self.shared.issue_slots
         fu = self._fu_budget()
         skipped = []
@@ -519,7 +657,7 @@ class ProcessorCore:
     def _issue_inorder(self, now: int) -> None:
         """Issue strictly in program order; stall at the first instruction
         whose operands are not ready (the paper's in-order model)."""
-        slots = self.proc.issue_width if self.shared is None \
+        slots = self._issue_width if self.shared is None \
             else self.shared.issue_slots
         fu = self._fu_budget()
         entries = self._entries
@@ -623,9 +761,20 @@ class ProcessorCore:
 
     # ------------------------------------------------------------------ memory queue
 
-    def _process_memq(self, now: int) -> None:
+    def _process_memq(self, now: int) -> bool:
+        """Give queued memory ops a chance to perform.
+
+        Returns True when the pass changed any state (entries dropped,
+        accesses or lock probes attempted, prefetches issued) -- the fast
+        backend uses this to certify no-op ticks.  Blocked entries are
+        re-examined without leaving any trace: ``retry_at`` is never
+        rewritten on the consistency-blocked path (it is already <= now
+        there, and every comparison is strict), so polling a blocked
+        queue at different times produces byte-identical checkpoints.
+        """
         if not self._memq:
-            return
+            return False
+        changed = False
         unit = self.consistency
         entries = self._entries
         memsys = self.memsys
@@ -633,6 +782,7 @@ class ProcessorCore:
         for seq in self._memq:
             entry = entries.get(seq)
             if entry is None or entry.state != ST_MEMQ:
+                changed = True  # stale seq dropped from the queue
                 continue
             if entry.retry_at > now:
                 still_queued.append(seq)
@@ -649,12 +799,13 @@ class ProcessorCore:
                         exclusive=op in _EXCLUSIVE_OPS,
                         pc=entry.instr.pc)
                     entry.prefetched = True
+                    changed = True
                 # Consistency-blocked: the op becomes performable only
                 # when an older memory op completes, so the next
                 # completion event (not per-cycle polling) re-examines it.
-                entry.retry_at = now
                 still_queued.append(seq)
                 continue
+            changed = True  # lock probe / memory access attempted
             if op == OP_LOCK_ACQ:
                 holder = self.lock_table.get(entry.instr.addr)
                 if holder is not None and holder != self.process.pid:
@@ -685,11 +836,12 @@ class ProcessorCore:
                     entry.instr.addr, self.memsys.line_shift)
                 unit.note_speculative_load(seq, line)
         self._memq = still_queued
+        return changed
 
     # ------------------------------------------------------------------ retire
 
     def _retire(self, now: int) -> None:
-        width = self.proc.issue_width
+        width = self._issue_width
         if self.shared is not None:
             width = min(width, self.shared.retire_slots)
         retired = 0
@@ -744,7 +896,7 @@ class ProcessorCore:
                 break
         # Busy fraction is measured against the full machine width so
         # SMT contexts' breakdowns sum like the paper's per-CPU bars.
-        machine_width = self.proc.issue_width
+        machine_width = self._issue_width
         self.stats.busy(retired / machine_width)
         if retired < machine_width and stall_category is not None:
             self.stats.stall(stall_category, 1.0 - retired / machine_width)
@@ -813,25 +965,34 @@ class ProcessorCore:
     # ------------------------------------------------------------------ skip-ahead
 
     def _next_event(self, now: int, sb_event: Optional[int]) -> int:
-        """Earliest future cycle at which this core can make progress."""
-        candidates = []
-        if self._completions:
-            candidates.append(self._completions[0][0])
-        if sb_event is not None:
-            candidates.append(sb_event)
+        """Earliest future cycle at which this core can make progress.
+
+        Tracks the minimum directly instead of building a candidate
+        list; every real candidate is finite, so ``FAR_FUTURE`` doubles
+        as the empty-set sentinel.
+        """
+        best = FAR_FUTURE if sb_event is None else sb_event
+        completions = self._completions
+        if completions:
+            t = completions[0][0]
+            if t < best:
+                best = t
+        entries = self._entries
         for seq in self._memq:
-            entry = self._entries.get(seq)
+            entry = entries.get(seq)
             if entry is None:
                 return now + 1
-            if entry.retry_at > now:
-                candidates.append(entry.retry_at)
+            t = entry.retry_at
+            if t > now and t < best:
+                best = t
             # retry_at <= now: consistency-blocked; it wakes with the
             # next completion, which is already among the candidates.
         if self._issue_wake == 1:
             return now + 1
-        if self._fetch_blocked_until != FAR_FUTURE and \
-                len(self._window) < self.proc.window_size:
-            candidates.append(max(now + 1, self._fetch_blocked_until))
-        if not candidates:
+        fbu = self._fetch_blocked_until
+        if fbu != FAR_FUTURE and fbu < best and \
+                len(self._window) < self._window_size:
+            best = fbu
+        if best == FAR_FUTURE:
             return now + 1 if self._window else FAR_FUTURE
-        return max(now + 1, min(candidates))
+        return best if best > now else now + 1

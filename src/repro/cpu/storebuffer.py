@@ -47,6 +47,11 @@ class StoreBuffer:
         self._entries: deque = deque()
         self.stores_pushed = 0
         self.barriers_pushed = 0
+        # Set by drain() when a pass changed state (pops, issues, retry
+        # reschedules, prefetches).  The fast backend resets it before
+        # calling drain and reads it afterwards to certify no-op ticks;
+        # it is scratch, never checkpointed.
+        self.drain_activity = False
 
     def __len__(self) -> int:
         return sum(1 for e in self._entries if not e.is_barrier)
@@ -86,9 +91,11 @@ class StoreBuffer:
             head = self._entries[0]
             if head.is_barrier:
                 self._entries.popleft()
+                self.drain_activity = True
                 continue
             if head.issued and head.done_at <= now:
                 self._entries.popleft()
+                self.drain_activity = True
                 continue
             break
         if not self._entries:
@@ -111,11 +118,15 @@ class StoreBuffer:
                     self.memsys.prefetch_data(now, e.addr, exclusive=True,
                                               pc=e.pc)
                     e.prefetched = True
+                    self.drain_activity = True
                 break
             if e.retry_at > now:
                 next_event = e.retry_at if next_event is None else \
                     min(next_event, e.retry_at)
                 break
+            # The access itself mutates memory-system state (ports, TLB
+            # LRU, MSHR expiry) even when it stalls.
+            self.drain_activity = True
             result = self.memsys.access_data(now, e.addr, is_write=True,
                                              pc=e.pc)
             if result.stalled:

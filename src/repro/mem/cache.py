@@ -35,11 +35,15 @@ class CacheArray:
     def lookup(self, line: int, touch: bool = True) -> bool:
         """True on hit; refreshes LRU order unless ``touch`` is False."""
         s = self._sets[line & self._set_mask]
-        if line in s:
-            if touch:
+        if touch:
+            # move_to_end doubles as the membership probe: one dict
+            # lookup instead of two on the (dominant) hit path.
+            try:
                 s.move_to_end(line)
+            except KeyError:
+                return False
             return True
-        return False
+        return line in s
 
     def insert(self, line: int, dirty: bool = False
                ) -> Optional[Tuple[int, bool]]:
@@ -119,14 +123,21 @@ class MshrFile:
         self.n_entries = n_entries
         self.stats = stats
         self._entries: Dict[int, MshrEntry] = {}
+        # Lower bound on min(done_at) over live entries; lets expire()
+        # return without scanning when nothing can have completed yet.
+        # Derived cache only -- never checkpointed.
+        self._min_done = 1 << 62
 
     def expire(self, now: int) -> None:
         """Retire entries whose miss has completed."""
-        if not self._entries:
+        if now < self._min_done or not self._entries:
             return
-        done = [line for line, e in self._entries.items() if e.done_at <= now]
+        entries = self._entries
+        done = [line for line, e in entries.items() if e.done_at <= now]
         for line in done:
-            del self._entries[line]
+            del entries[line]
+        self._min_done = min(
+            (e.done_at for e in entries.values()), default=1 << 62)
 
     def get(self, line: int) -> Optional[MshrEntry]:
         return self._entries.get(line)
@@ -147,6 +158,8 @@ class MshrFile:
                  exclusive: bool) -> MshrEntry:
         entry = MshrEntry(line, done_at, is_read, exclusive, now)
         self._entries[line] = entry
+        if done_at < self._min_done:
+            self._min_done = done_at
         if self.stats is not None:
             self.stats.add_interval(now, done_at, is_read)
         return entry
@@ -171,3 +184,5 @@ class MshrFile:
     def restore(self, state: Dict[str, object]) -> None:
         """Install state captured by :meth:`snapshot`."""
         self._entries = state["entries"]
+        self._min_done = min(
+            (e.done_at for e in self._entries.values()), default=1 << 62)

@@ -62,8 +62,11 @@ class InstructionStreamBuffer:
         """
         if not self.enabled:
             return None
-        hit_index = next((i for i, e in enumerate(self._entries)
-                          if e.line == line), None)
+        hit_index = None
+        for i, e in enumerate(self._entries):
+            if e.line == line:
+                hit_index = i
+                break
         if hit_index is None:
             self.misses += 1
             self.flushes += bool(self._entries)

@@ -40,8 +40,9 @@ _ENUMS = {
 
 # Fields that configure tooling rather than the simulated machine; they
 # must not leak into saved configs or cache fingerprints (a sanitizer-on
-# run produces bit-identical results to a sanitizer-off run).
-_EPHEMERAL = {"check", "watchdog_cycles", "watchdog_node_cycles"}
+# run produces bit-identical results to a sanitizer-off run, and the fast
+# backend produces bit-identical results to the reference backend).
+_EPHEMERAL = {"check", "watchdog_cycles", "watchdog_node_cycles", "backend"}
 
 _NESTED = {
     "processor": ProcessorParams,

@@ -12,6 +12,12 @@ regressions before they reach the benchmarks.
 job, replays it, and reports the replay speedup and a byte-identity
 check against the generator path -- a quick local version of the
 cross-check the benchmark and CI smoke enforce.
+
+``--backend fast|reference`` selects the execution backend to profile
+(see ARCHITECTURE.md "Execution backends"), and ``--compare-backends``
+profiles the same job under both, printing a per-subsystem speedup
+table plus a byte-identity check; the CLI exits nonzero if the
+backends ever disagree.
 """
 
 from __future__ import annotations
@@ -125,18 +131,8 @@ def _subsystem_of(filename: str) -> str:
     return component[:-3] if component.endswith(".py") else component
 
 
-def profile_run(kind: str = "oltp",
-                instructions: int = DEFAULT_INSTRUCTIONS,
-                warmup: int = DEFAULT_WARMUP,
-                seed: int = 0,
-                top: int = 10,
-                compare_arena: bool = False,
-                trace_dir: Optional[str] = None) -> Dict[str, Any]:
-    """Profile one simulation; return a JSON-friendly report dict."""
-    spec = JobSpec(default_system(), WorkloadSpec(kind),
-                   instructions=instructions, warmup=warmup, seed=seed)
-    total_instr = instructions + warmup
-
+def _profile_once(spec: JobSpec):
+    """cProfile one job; (result, wall_s, subsystem seconds, functions)."""
     profiler = cProfile.Profile()
     started = time.perf_counter()  # repro-lint: disable=R002
     profiler.enable()
@@ -157,6 +153,25 @@ def profile_run(kind: str = "oltp",
             "calls": ncalls,
         })
     functions.sort(key=lambda f: f["seconds"], reverse=True)
+    return result, wall_s, by_subsystem, functions
+
+
+def profile_run(kind: str = "oltp",
+                instructions: int = DEFAULT_INSTRUCTIONS,
+                warmup: int = DEFAULT_WARMUP,
+                seed: int = 0,
+                top: int = 10,
+                compare_arena: bool = False,
+                trace_dir: Optional[str] = None,
+                backend: str = "reference",
+                compare_backends: bool = False) -> Dict[str, Any]:
+    """Profile one simulation; return a JSON-friendly report dict."""
+    spec = JobSpec(default_system().replace(backend=backend),
+                   WorkloadSpec(kind),
+                   instructions=instructions, warmup=warmup, seed=seed)
+    total_instr = instructions + warmup
+
+    result, wall_s, by_subsystem, functions = _profile_once(spec)
     profiled_s = sum(by_subsystem.values()) or 1e-9
 
     subsystems = [
@@ -171,6 +186,7 @@ def profile_run(kind: str = "oltp",
     ]
     report: Dict[str, Any] = {
         "workload": kind,
+        "backend": backend,
         "instructions": instructions,
         "warmup": warmup,
         "seed": seed,
@@ -187,7 +203,45 @@ def profile_run(kind: str = "oltp",
     }
     if compare_arena:
         report["arena"] = _compare_arena(spec, result, trace_dir)
+    if compare_backends:
+        report["backends"] = _compare_backends(spec)
     return report
+
+
+def _compare_backends(spec: JobSpec) -> Dict[str, Any]:
+    """Profile the job under both backends; per-subsystem speedups and a
+    byte-identity verdict (the CLI exits nonzero on divergence)."""
+    import dataclasses
+
+    runs: Dict[str, Any] = {}
+    for backend in ("reference", "fast"):
+        bspec = dataclasses.replace(
+            spec, params=spec.params.replace(backend=backend))
+        result, wall_s, by_subsystem, _functions = _profile_once(bspec)
+        runs[backend] = (result, wall_s, by_subsystem)
+
+    ref_result, ref_wall, ref_sub = runs["reference"]
+    fast_result, fast_wall, fast_sub = runs["fast"]
+    names = sorted(set(ref_sub) | set(fast_sub),
+                   key=lambda n: ref_sub.get(n, 0.0), reverse=True)
+    subsystems = []
+    for name in names:
+        ref_s = ref_sub.get(name, 0.0)
+        fast_s = fast_sub.get(name, 0.0)
+        subsystems.append({
+            "name": name,
+            "reference_s": round(ref_s, 4),
+            "fast_s": round(fast_s, 4),
+            "speedup": round(ref_s / fast_s, 2) if fast_s > 1e-9
+            else None,
+        })
+    return {
+        "reference_wall_s": round(ref_wall, 4),
+        "fast_wall_s": round(fast_wall, 4),
+        "speedup": round(ref_wall / fast_wall, 2) if fast_wall else 0.0,
+        "identical": ref_result.to_dict() == fast_result.to_dict(),
+        "subsystems": subsystems,
+    }
 
 
 def _compare_arena(spec: JobSpec, generator_result,
@@ -230,6 +284,7 @@ def _compare_arena(spec: JobSpec, generator_result,
 def format_report(report: Dict[str, Any]) -> str:
     lines = [
         f"workload {report['workload']}  "
+        f"backend {report.get('backend', 'reference')}  "
         f"instr {report['instructions']:,} (+{report['warmup']:,} warmup)"
         f"  seed {report['seed']}",
         f"cycles {report['cycles']:,}  wall {report['wall_s']:.2f}s  "
@@ -262,4 +317,23 @@ def format_report(report: Dict[str, Any]) -> str:
                 f" vs replay {arena['replay_s']:.2f}s "
                 f"({arena['replay_speedup']:.2f}x), results {verdict}, "
                 f"{arena['arena_bytes']:,} bytes on disk")
+    backends = report.get("backends")
+    if backends is not None:
+        verdict = "identical" if backends["identical"] else "DIVERGED"
+        lines.append("")
+        lines.append(
+            f"backend cross-check: reference "
+            f"{backends['reference_wall_s']:.2f}s vs fast "
+            f"{backends['fast_wall_s']:.2f}s "
+            f"({backends['speedup']:.2f}x), results {verdict}")
+        lines.append("  per-subsystem exclusive time "
+                     "(reference -> fast):")
+        for sub in backends["subsystems"]:
+            if sub["reference_s"] < 0.001 and sub["fast_s"] < 0.001:
+                continue
+            speedup = "   n/a" if sub["speedup"] is None \
+                else f"{sub['speedup']:>5.2f}x"
+            lines.append(f"  {sub['name']:<10s} "
+                         f"{sub['reference_s']:>8.3f}s -> "
+                         f"{sub['fast_s']:>8.3f}s  {speedup}")
     return "\n".join(lines)

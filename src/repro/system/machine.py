@@ -161,7 +161,15 @@ class Machine:
         """Simulate until ``instructions`` more retire (across all cores).
 
         Returns the number of cycles elapsed during this call.
+
+        With ``params.backend == "fast"`` the certified-skip loop
+        (:meth:`_run_fast`) is used instead of the uniform grid walk; it
+        produces byte-identical state and statistics.  Sanitized runs
+        (``params.check``) always take the reference path: the invariant
+        checker's wrappers assume every core is polled every grid cycle.
         """
+        if self.params.backend == "fast" and self.checker is None:
+            return self._run_fast(instructions, max_cycles)
         target = self.total_retired() + instructions
         start_cycle = self.now
         deadline = self.now + max_cycles
@@ -237,6 +245,137 @@ class Machine:
             self.now = now
         if self.checker is not None:
             self.checker.check_run_end()
+        return now - start_cycle
+
+    def _run_fast(self, instructions: int, max_cycles: int) -> int:
+        """Certified-skip main loop (``SystemParams.backend == "fast"``).
+
+        Visits exactly the same grid of cycle numbers as :meth:`run`, but
+        only ticks a core at a grid point when something can actually
+        happen there.  A core is *due* when (a) its previous tick was not
+        certified as a no-op (``tick_quiet``), (b) its reported wake
+        cycle has arrived, (c) it took a rollback squash, or (d) the
+        scheduler can seat a process on a free slot.  Skipped ticks are
+        reproduced exactly by gap crediting inside the next real tick
+        (or by ``settle()`` at exit): each skipped cycle would have
+        charged 1.0 cycle to the core's unchanged stall category.
+
+        Because every wake a skipped core contributes to the grid is the
+        value its own tick would have returned (certification), the grid
+        -- and therefore every cycle count, stall breakdown, watchdog
+        trip, and checkpoint snapshot -- is byte-identical to the
+        reference backend's.
+        """
+        target = self.total_retired() + instructions
+        start_cycle = self.now
+        deadline = self.now + max_cycles
+        cores = self.cores
+        schedulers = self.schedulers
+        dispatch_if_idle = self._dispatch_if_idle
+        handle_syscall = self._handle_syscall
+        indexed_cores = list(enumerate(cores))
+        now = self.now
+        smt = self.params.processor.smt_contexts > 1
+        # Flat per-core event state, indexed by cpu: the last wake each
+        # core reported, whether that wake is certified (the core may be
+        # skipped until then), the retired count last observed (for an
+        # incremental machine-wide total), and the cached earliest wake
+        # of each scheduler (only a cpu's own tick can change it).
+        wake = [now] * len(cores)
+        quiet = [False] * len(cores)
+        retired_seen = [core.retired for core in cores]
+        sched_wake = [s.earliest_wake() for s in schedulers]
+        total_now = sum(retired_seen)
+        last_step = -1
+        wd_global = self.params.watchdog_cycles
+        wd_node = self.params.watchdog_node_cycles
+        wd_on = wd_global > 0 or wd_node > 0
+        if wd_on:
+            if self.memory._ping is None:
+                self.memory._ping = {}
+            ping = self.memory._ping
+            wd_total = total_now
+            wd_cycle = now
+            wd_node_retired = list(retired_seen)
+            wd_node_cycle = [now] * len(cores)
+        while True:
+            if total_now >= target:
+                break
+            if wd_on:
+                if total_now != wd_total:
+                    wd_total = total_now
+                    wd_cycle = now
+                    ping.clear()
+                elif wd_global and now - wd_cycle >= wd_global:
+                    raise self._classify_wedge(now, node=None)
+                if wd_node:
+                    for cpu, core in indexed_cores:
+                        r = retired_seen[cpu]
+                        if r != wd_node_retired[cpu] or core.process is None:
+                            wd_node_retired[cpu] = r
+                            wd_node_cycle[cpu] = now
+                        elif now - wd_node_cycle[cpu] >= wd_node:
+                            raise self._classify_wedge(now, node=cpu)
+            if now >= deadline:
+                raise DeadlockError(
+                    f"exceeded {max_cycles} cycles at "
+                    f"{self.total_retired()} retired instructions")
+            last_step = now
+            next_time = FAR_FUTURE
+            for cpu, core in indexed_cores:
+                if quiet[cpu] and wake[cpu] > now:
+                    w = sched_wake[cpu]
+                    if w is None or w > now:
+                        seat = False
+                    elif smt:
+                        seat = core.free_slots() > 0
+                    else:
+                        seat = core.process is None
+                    if not seat:
+                        t = wake[cpu]
+                        if t < next_time:
+                            next_time = t
+                        continue
+                dispatch_if_idle(cpu)
+                t = core.tick_fast(now)
+                if core.syscall_retired:
+                    handle_syscall(cpu)
+                    t = now + 1
+                    quiet[cpu] = False
+                else:
+                    quiet[cpu] = core.tick_quiet
+                wake[cpu] = t
+                r = core.retired
+                if r != retired_seen[cpu]:
+                    total_now += r - retired_seen[cpu]
+                    retired_seen[cpu] = r
+                sched_wake[cpu] = schedulers[cpu].earliest_wake()
+                if t < next_time:
+                    next_time = t
+            for cpu, core in indexed_cores:
+                if core._rollback_to is None:
+                    continue
+                core.apply_pending_rollback(now)
+                quiet[cpu] = False  # squashed state invalidates the wake
+            # Idle CPUs wake when a blocked process becomes ready.
+            for cpu, core in indexed_cores:
+                if core.process is None:
+                    w = sched_wake[cpu]
+                    if w is not None:
+                        candidate = w if w > now else now + 1
+                        if candidate < next_time:
+                            next_time = candidate
+            if next_time >= FAR_FUTURE:
+                raise DeadlockError(
+                    f"no core can make progress at cycle {now}")
+            now = max(now + 1, next_time)
+            self.now = now
+        # The reference loop ticks every core at every grid point, so at
+        # exit each core's accounting extends through the last one; bring
+        # skipped cores up to it so snapshots are byte-identical.
+        if last_step >= 0:
+            for core in cores:
+                core.settle(last_step)
         return now - start_cycle
 
     # ---------------------------------------------------------------- watchdog

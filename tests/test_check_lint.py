@@ -176,7 +176,7 @@ class TestDriver:
 
     def test_rule_catalog(self):
         assert set(RULES) == {"R001", "R002", "R003", "R004", "R005",
-                              "R006"}
+                              "R006", "R007"}
 
 
 class TestR006HotPathAllocation:
@@ -226,3 +226,60 @@ class TestR006HotPathAllocation:
     def test_non_hot_module_quiet(self, tmp_path):
         src = "def tick(self):\n    return [1, 2]\n"
         assert self._codes(src, "stats/other.py", tmp_path) == []
+
+
+class TestR007FastLoopLookups:
+    """Membership tests and attribute chains in _run_fast loops."""
+
+    def _codes(self, source, name="system/machine.py", tmp_path=None):
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        violations, _ = lint_paths([str(path)])
+        return [v.code for v in violations]
+
+    def test_membership_in_fast_loop_flagged(self, tmp_path):
+        src = ("def _run_fast(self):\n"
+               "    while True:\n"
+               "        if now in self.pending:\n"
+               "            break\n")
+        assert self._codes(src, tmp_path=tmp_path) == ["R007"]
+
+    def test_attribute_chain_in_fast_loop_flagged(self, tmp_path):
+        src = ("def _run_fast(self):\n"
+               "    for cpu in cpus:\n"
+               "        w = self.params.backend\n")
+        assert self._codes(src, tmp_path=tmp_path) == ["R007"]
+
+    def test_single_attribute_quiet(self, tmp_path):
+        src = ("def _run_fast(self):\n"
+               "    while True:\n"
+               "        w = core.retired\n")
+        assert self._codes(src, tmp_path=tmp_path) == []
+
+    def test_outside_loop_quiet(self, tmp_path):
+        src = ("def _run_fast(self):\n"
+               "    ping = self.memory._ping\n"
+               "    ok = 0 in seen\n")
+        assert self._codes(src, tmp_path=tmp_path) == []
+
+    def test_reference_loop_exempt(self, tmp_path):
+        src = ("def run(self):\n"
+               "    while True:\n"
+               "        if now in self.pending:\n"
+               "            w = self.params.backend\n")
+        assert self._codes(src, tmp_path=tmp_path) == []
+
+    def test_other_module_exempt(self, tmp_path):
+        src = ("def _run_fast(self):\n"
+               "    while True:\n"
+               "        w = self.params.backend\n")
+        assert self._codes(src, "cpu/smt.py", tmp_path) == []
+
+    def test_pragma_escape(self, tmp_path):
+        src = ("def _run_fast(self):\n"
+               "    while True:\n"
+               "        ok = now in seen  "
+               "# repro-lint: disable=R007\n"
+               "        break\n")
+        assert self._codes(src, tmp_path=tmp_path) == []

@@ -1,0 +1,233 @@
+"""Fast execution backend: byte-identity and scheduling properties.
+
+The ``fast`` backend (``SystemParams.backend``) replaces the uniform
+cycle grid of ``Machine.run`` with certified tick skipping; its whole
+contract is *instruction-for-instruction equivalence* with the
+reference loop.  These tests pin that contract:
+
+* results (``SimulationResult.to_dict``) and full machine snapshots are
+  byte-identical across workloads, consistency models, SMT, in-order
+  cores and chunked runs;
+* the forward-progress watchdog trips at the identical cycle with the
+  identical classification on both backends (``now`` never skips past
+  a pending watchdog deadline);
+* checkpoint-interval boundaries land on the same retired-instruction
+  counts with the same ``now`` and byte-identical snapshots (``now``
+  never skips past a pending checkpoint boundary);
+* sanitized runs (``check=True``) decline the fast path -- the
+  invariant checker's wrappers assume every core is polled every grid
+  cycle;
+* ``backend`` stays out of job fingerprints: identical results must
+  share cache entries.
+"""
+
+import dataclasses
+from collections import OrderedDict, deque
+
+import pytest
+
+from repro.core.experiment import assemble_result
+from repro.core.workloads import dss_workload, oltp_workload, \
+    tpcc_workload
+from repro.cpu.core import WindowEntry
+from repro.params import ConsistencyImpl, ConsistencyModel, \
+    default_system
+from repro.run.jobs import JobSpec, WorkloadSpec
+from repro.system.machine import Machine, WedgeError
+
+
+# --------------------------------------------------------------- helpers
+
+def canon(obj):
+    """Order-insensitive deep canonical form for snapshot comparison.
+
+    Dicts and sets are sorted (insertion order of an ``OrderedDict`` is
+    semantic -- LRU order -- and preserved); generic objects compare by
+    class name plus attributes.
+    """
+    if isinstance(obj, OrderedDict):
+        return ("od", [(canon(k), canon(v)) for k, v in obj.items()])
+    if isinstance(obj, dict):
+        return ("d", sorted(((canon(k), canon(v))
+                             for k, v in obj.items()), key=repr))
+    if isinstance(obj, (set, frozenset)):
+        return ("s", sorted((canon(x) for x in obj), key=repr))
+    if isinstance(obj, (list, tuple, deque)):
+        return ("l", [canon(x) for x in obj])
+    if isinstance(obj, (int, float, str, bool, bytes, type(None))):
+        return obj
+    attrs = {}
+    if hasattr(obj, "__slots__"):
+        names = []
+        for klass in type(obj).__mro__:
+            names.extend(getattr(klass, "__slots__", ()))
+        for name in names:
+            if hasattr(obj, name):
+                attrs[name] = getattr(obj, name)
+    if hasattr(obj, "__dict__"):
+        attrs.update(obj.__dict__)
+    return (type(obj).__name__,
+            sorted(((k, canon(v)) for k, v in attrs.items()), key=repr))
+
+
+def build_machine(params, workload, seed=0):
+    # WindowEntry uids are a process-global counter; reset so snapshots
+    # of sequentially built machines compare equal.
+    WindowEntry._next_uid = 0
+    return Machine(params, workload.generators(params.n_nodes,
+                                               seed=seed))
+
+
+def one_run(params, workload, instr, warmup, seed=0, chunks=None):
+    m = build_machine(params, workload, seed)
+    if warmup:
+        m.run(warmup)
+        m.reset_stats()
+    if chunks:
+        cycles = 0
+        base = m.total_retired()
+        for stop in chunks:
+            cycles += m.run(base + stop - m.total_retired())
+    else:
+        cycles = m.run(instr)
+    res = assemble_result(m, workload.name, cycles, instr)
+    return res.to_dict(), canon(m.snapshot())
+
+
+def assert_identical(params, workload, instr=2500, warmup=1000, seed=0,
+                     chunks=None):
+    ref = one_run(params.replace(backend="reference"), workload, instr,
+                  warmup, seed, chunks)
+    fast = one_run(params.replace(backend="fast"), workload, instr,
+                   warmup, seed, chunks)
+    assert ref[0] == fast[0], "results diverged between backends"
+    assert ref[1] == fast[1], "snapshots diverged between backends"
+
+
+BASE = default_system()
+_SMT2 = BASE.replace(processor=dataclasses.replace(
+    BASE.processor, smt_contexts=2))
+_INORDER = BASE.replace(processor=dataclasses.replace(
+    BASE.processor, out_of_order=False))
+
+MATRIX = [
+    ("oltp", BASE, oltp_workload, {}),
+    ("dss", BASE, dss_workload, {}),
+    ("tpcc", BASE, tpcc_workload, {}),
+    ("oltp-inorder", _INORDER, oltp_workload, {}),
+    ("oltp-smt2", _SMT2, oltp_workload, {}),
+    ("oltp-sc", BASE.replace(
+        consistency=ConsistencyModel.SC,
+        consistency_impl=ConsistencyImpl.STRAIGHTFORWARD),
+        oltp_workload, {}),
+    ("oltp-pc-prefetch", BASE.replace(
+        consistency=ConsistencyModel.PC,
+        consistency_impl=ConsistencyImpl.PREFETCH),
+        oltp_workload, {}),
+    ("oltp-rc-spec", BASE.replace(
+        consistency=ConsistencyModel.RC,
+        consistency_impl=ConsistencyImpl.SPECULATIVE),
+        oltp_workload, {}),
+    ("oltp-chunked", BASE, oltp_workload,
+     {"chunks": [800, 1700, 2500]}),
+    ("oltp-watchdog-armed", BASE.replace(
+        watchdog_cycles=200000, watchdog_node_cycles=150000),
+        oltp_workload, {}),
+]
+
+
+@pytest.mark.parametrize("name,params,workload,kw",
+                         MATRIX, ids=[m[0] for m in MATRIX])
+def test_backend_identity(name, params, workload, kw):
+    assert_identical(params, workload(), **kw)
+
+
+# ----------------------------------------------- watchdog equivalence
+
+def test_watchdog_trips_at_identical_cycle():
+    """A wedged single-node run trips the watchdog at the same cycle
+    with the same classification on both backends: skip-ahead never
+    jumps past a pending watchdog deadline."""
+    params = BASE.replace(n_nodes=1, mesh_width=1, watchdog_cycles=40)
+    trips = {}
+    for backend in ("reference", "fast"):
+        m = build_machine(params.replace(backend=backend),
+                          oltp_workload())
+        with pytest.raises(WedgeError) as err:
+            m.run(4000)
+        trips[backend] = err.value.to_dict()
+    assert trips["reference"] == trips["fast"]
+
+
+# ---------------------------------------------- checkpoint boundaries
+
+def test_checkpoint_boundaries_identical():
+    """Interval-chunked runs (the ``--checkpoint-every`` driver loop)
+    stop at the same retired counts with the same ``now`` and
+    byte-identical snapshots on both backends."""
+    every, target = 600, 3000
+    states = {}
+    for backend in ("reference", "fast"):
+        m = build_machine(BASE.replace(backend=backend),
+                          oltp_workload())
+        boundaries = []
+        total = m.total_retired()
+        while total < target:
+            boundary = (total // every + 1) * every
+            m.run(min(boundary, target) - total)
+            total = m.total_retired()
+            boundaries.append((total, m.now, canon(m.snapshot())))
+        states[backend] = boundaries
+    ref, fast = states["reference"], states["fast"]
+    assert len(ref) == len(fast)
+    for (r_total, r_now, r_snap), (f_total, f_now, f_snap) in \
+            zip(ref, fast):
+        assert r_total == f_total, \
+            "checkpoint boundary hit a different retired count"
+        assert r_now == f_now, \
+            "machine time diverged at a checkpoint boundary"
+        assert r_snap == f_snap, \
+            "snapshot diverged at a checkpoint boundary"
+
+
+# ----------------------------------------------------- backend gating
+
+def test_sanitized_runs_decline_fast(monkeypatch):
+    """check=True keeps the reference loop: the sanitizer's wrappers
+    assume every core is polled every grid cycle."""
+    def boom(self, instructions, max_cycles):
+        raise AssertionError("fast path used under the sanitizer")
+    monkeypatch.setattr(Machine, "_run_fast", boom)
+    params = BASE.replace(backend="fast", check=True,
+                          n_nodes=1, mesh_width=1)
+    m = build_machine(params, oltp_workload())
+    m.run(300)  # must not hit the patched fast path
+
+
+def test_fast_backend_is_dispatched(monkeypatch):
+    calls = []
+    original = Machine._run_fast
+
+    def spy(self, instructions, max_cycles):
+        calls.append(instructions)
+        return original(self, instructions, max_cycles)
+    monkeypatch.setattr(Machine, "_run_fast", spy)
+    m = build_machine(BASE.replace(backend="fast"), oltp_workload())
+    m.run(300)
+    assert calls, "backend='fast' never reached _run_fast"
+
+
+def test_backend_validation():
+    with pytest.raises(ValueError):
+        BASE.replace(backend="warp")
+
+
+def test_backend_is_ephemeral_for_fingerprints():
+    """Byte-identical results must share result-cache entries."""
+    ref = JobSpec(BASE.replace(backend="reference"),
+                  WorkloadSpec("oltp"), instructions=1000, warmup=0,
+                  seed=0)
+    fast = JobSpec(BASE.replace(backend="fast"),
+                   WorkloadSpec("oltp"), instructions=1000, warmup=0,
+                   seed=0)
+    assert ref.fingerprint() == fast.fingerprint()
