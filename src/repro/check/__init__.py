@@ -11,8 +11,10 @@ Three cooperating pieces, all opt-in and all zero-cost when disabled:
   (message passing, Dekker/store buffering, migratory handoff) replayed
   on small machines, asserting each consistency model forbids or allows
   the right outcomes.
-* :mod:`repro.check.lint` -- an AST-based determinism linter for the
-  simulator sources (``repro lint``).
+* :mod:`repro.check.lint` -- static analysis for the simulator sources
+  (``repro lint``): per-file determinism rules plus whole-program
+  contract passes (snapshot completeness, ephemeral-parameter purity,
+  backend-surface equivalence).
 
 :mod:`repro.check.mutations` seeds deliberate protocol bugs and proves
 the sanitizer and litmus harness detect every one of them (the

@@ -1,0 +1,331 @@
+"""Whole-program contract passes: R010, R011, R012.
+
+Each pass audits a convention the repo's headline claims rest on:
+
+* **R010** -- byte-identical checkpoint resume requires ``snapshot()``
+  to capture (or ``restore()`` to recompute) every attribute the tick
+  path mutates;
+* **R011** -- fingerprint-stable caching requires ephemeral
+  ``SystemParams`` fields to stay out of simulation behaviour;
+* **R012** -- backend identity requires ``tick``/``tick_fast`` (and
+  ``run``/``_run_fast``) to touch the same attribute surface.
+
+The deliberate exceptions are declared here, next to the passes, each
+with its justification: an auditor reading this module sees the whole
+trust surface in one place.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.check.lint.registry import LintViolation
+from repro.check.lint.symbols import ClassInfo, MethodInfo, ModuleInfo, \
+    ProgramIndex
+
+#: The ephemeral registry (R011): SystemParams fields that configure
+#: tooling rather than the simulated machine.  Must match
+#: ``repro.params.EPHEMERAL_FIELDS`` exactly -- the pass cross-checks.
+EPHEMERAL_REGISTRY: FrozenSet[str] = frozenset({
+    "check", "watchdog_cycles", "watchdog_node_cycles", "backend"})
+
+#: Approved readers of ephemeral fields (path suffix -> function names).
+#: Everything here is a *gate*: code that dispatches on the knob before
+#: simulation starts (backend/checker selection, watchdog arming) or
+#: that records it in host-side artifacts (triage bundles, checkpoint
+#: eligibility).  A read anywhere else is how an ephemeral would leak
+#: into cycle math.
+EPHEMERAL_READ_GATES: Dict[str, FrozenSet[str]] = {
+    "params.py": frozenset({"__post_init__"}),      # value validation
+    "system/machine.py": frozenset({
+        "__init__",        # attaches the sanitizer when check=True
+        "run",             # backend dispatch + watchdog arming
+        "_run_fast",       # watchdog arming on the fast loop
+    }),
+    "run/triage.py": frozenset({"write_bundle"}),   # bundles re-arm the
+                                                    # watchdog on replay
+    "run/checkpoint.py": frozenset({
+        "supports_checkpointing",                   # checker wrappers
+    }),                                             # can't be snapshotted
+}
+
+#: Deliberately un-snapshotted scratch (R010), (class, attribute) ->
+#: justification.  Everything here is run-local state that never
+#: survives into a checkpoint *by design*.
+SNAPSHOT_SCRATCH: Dict[Tuple[str, str], str] = {
+    ("ProcessorCore", "tick_quiet"):
+        "no-op certification flag; consumed by the fast loop within the "
+        "same grid step and recomputed on the next tick",
+    ("SmtCore", "tick_quiet"):
+        "same certification flag, aggregated over SMT contexts",
+    ("StoreBuffer", "drain_activity"):
+        "per-tick drain-activity probe for no-op certification; never "
+        "read across ticks",
+    ("CoherentMemory", "_ping"):
+        "forward-progress watchdog scratch; disarmed unless a watchdog "
+        "is configured and never affects timing",
+    ("ProcessorCore", "lock_table"):
+        "machine-wide shared table; captured once by Machine.snapshot "
+        "and reinstalled in place by Machine.restore",
+}
+
+#: Backend write-surface pairs (R012).  ``allowed_fast_extra`` lists the
+#: certification scratch only the fast path writes; the reference loop
+#: never reads it and snapshots never capture it (see SNAPSHOT_SCRATCH).
+SURFACE_PAIRS = (
+    {"class": "ProcessorCore",
+     "reference": ("tick",),
+     "fast": ("tick_fast", "settle"),
+     "allowed_fast_extra": frozenset({"tick_quiet",
+                                      "storebuf.drain_activity"})},
+    {"class": "Machine",
+     "reference": ("run",),
+     "fast": ("_run_fast",),
+     "allowed_fast_extra": frozenset()},
+)
+
+#: Methods that run outside the tick path (R010 ignores their writes):
+#: construction, checkpointing itself, and once-per-run reporting.
+_COLD_METHOD = re.compile(
+    r"^(__\w+__|snapshot|restore|reset\w*|format\w*|describe\w*|"
+    r"dump\w*|summary\w*|to_dict|from_dict|stats\w*|report\w*)$")
+
+
+def _norm(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+# --------------------------------------------------------------------- R010
+
+def _check_snapshot_completeness(index: ProgramIndex,
+                                 cls: ClassInfo) -> List[LintViolation]:
+    snapshot = cls.methods.get("snapshot")
+    restore = cls.methods.get("restore")
+    if snapshot is None or restore is None:
+        return []
+    violations: List[LintViolation] = []
+
+    hot_roots = [name for name in cls.methods
+                 if not _COLD_METHOD.match(name)]
+    covered = snapshot.attr_reads | set(restore.attr_writes)
+    reported: Set[str] = set()
+    for method_name in sorted(cls.closure(hot_roots)):
+        method = cls.methods[method_name]
+        for attr in sorted(method.attr_writes):
+            if attr in covered or attr in reported:
+                continue
+            if (cls.name, attr) in SNAPSHOT_SCRATCH:
+                continue
+            node = method.attr_writes[attr]
+            if index.suppressed(cls.path, node, "R010"):
+                continue
+            reported.add(attr)
+            violations.append(LintViolation(
+                cls.path, getattr(node, "lineno", cls.node.lineno),
+                "R010",
+                f"{cls.name}.{method_name} mutates self.{attr} on the "
+                f"tick path, but {cls.name}.snapshot() never captures "
+                f"it and restore() never reinstalls it -- checkpoint "
+                f"resume would silently lose the value"))
+
+    # Key symmetry: restore() must only read keys snapshot() writes.
+    # (The converse -- a snapshot key restore ignores -- is legal:
+    # e.g. Process stores "pid" for external re-linking.)
+    if not snapshot.opaque_return and snapshot.dict_keys:
+        for key in sorted(set(restore.state_keys) - snapshot.dict_keys):
+            node = restore.state_keys[key]
+            if index.suppressed(cls.path, node, "R010"):
+                continue
+            violations.append(LintViolation(
+                cls.path, getattr(node, "lineno", cls.node.lineno),
+                "R010",
+                f"{cls.name}.restore() reads state[{key!r}] but "
+                f"snapshot() never writes that key -- the "
+                f"snapshot/restore key sets have diverged"))
+    return violations
+
+
+# --------------------------------------------------------------------- R011
+
+def _literal_str_set(node: ast.AST) -> Optional[Set[str]]:
+    """String constants inside a set/frozenset literal or call, or None
+    if the value is not a visible literal collection."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        if not node.args:
+            return set()
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        out: Set[str] = set()
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and \
+                    isinstance(element.value, str):
+                out.add(element.value)
+            else:
+                return None
+        return out
+    return None
+
+
+def _module_assignment(module: ModuleInfo,
+                       name: str) -> Optional[ast.Assign]:
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt
+    return None
+
+
+def _imports_from_params(module: ModuleInfo, symbol: str) -> bool:
+    for stmt in ast.walk(module.tree):
+        if isinstance(stmt, ast.ImportFrom) and \
+                stmt.module == "repro.params" and \
+                any(alias.name == symbol for alias in stmt.names):
+            return True
+    return False
+
+
+def _check_ephemeral_registry(module: ModuleInfo
+                              ) -> List[LintViolation]:
+    """Cross-check the declared registries against EPHEMERAL_REGISTRY."""
+    violations: List[LintViolation] = []
+    path = _norm(module.path)
+
+    system_params = module.classes.get("SystemParams")
+    if system_params is not None and path.endswith("params.py"):
+        fields = {stmt.target.id for stmt in system_params.node.body
+                  if isinstance(stmt, ast.AnnAssign) and
+                  isinstance(stmt.target, ast.Name)}
+        stray = EPHEMERAL_REGISTRY - fields
+        if stray:
+            violations.append(LintViolation(
+                module.path, system_params.node.lineno, "R011",
+                f"ephemeral registry names non-existent SystemParams "
+                f"field(s) {sorted(stray)}"))
+        declared = _module_assignment(module, "EPHEMERAL_FIELDS")
+        if declared is None:
+            violations.append(LintViolation(
+                module.path, system_params.node.lineno, "R011",
+                "params.py must declare EPHEMERAL_FIELDS (the explicit "
+                "ephemeral registry) next to SystemParams"))
+        else:
+            values = _literal_str_set(declared.value)
+            if values is None or values != set(EPHEMERAL_REGISTRY):
+                violations.append(LintViolation(
+                    module.path, declared.lineno, "R011",
+                    f"EPHEMERAL_FIELDS must be the literal registry "
+                    f"{sorted(EPHEMERAL_REGISTRY)} (the lint pass, "
+                    f"serialization and fingerprinting all key off it)"))
+
+    if path.endswith("params_io.py") and \
+            any(isinstance(stmt, ast.FunctionDef) and
+                stmt.name == "params_to_dict"
+                for stmt in module.tree.body):
+        declared = _module_assignment(module, "_EPHEMERAL")
+        if declared is not None:
+            values = _literal_str_set(declared.value)
+            if values is not None:
+                if values != set(EPHEMERAL_REGISTRY):
+                    violations.append(LintViolation(
+                        module.path, declared.lineno, "R011",
+                        f"fingerprint exclusion set _EPHEMERAL "
+                        f"{sorted(values)} diverges from the ephemeral "
+                        f"registry {sorted(EPHEMERAL_REGISTRY)}"))
+            elif not _imports_from_params(module, "EPHEMERAL_FIELDS"):
+                violations.append(LintViolation(
+                    module.path, declared.lineno, "R011",
+                    "_EPHEMERAL must alias repro.params.EPHEMERAL_FIELDS "
+                    "(or restate it literally) so fingerprints and the "
+                    "registry cannot drift apart"))
+    return violations
+
+
+def _check_ephemeral_reads(index: ProgramIndex,
+                           module: ModuleInfo) -> List[LintViolation]:
+    violations: List[LintViolation] = []
+    path = _norm(module.path)
+    for read in module.ephemeral_reads:
+        gated = any(path.endswith(suffix) and read.function in functions
+                    for suffix, functions in
+                    EPHEMERAL_READ_GATES.items())
+        if gated:
+            continue
+        if index.suppressed(module.path, read.node, "R011"):
+            continue
+        where = read.function or "<module>"
+        if read.class_name and read.function:
+            where = f"{read.class_name}.{read.function}"
+        violations.append(LintViolation(
+            module.path, getattr(read.node, "lineno", 0), "R011",
+            f"read of ephemeral SystemParams field '{read.field}' in "
+            f"{where}, outside the approved gate list -- ephemeral "
+            f"fields are excluded from fingerprints and must never "
+            f"influence simulated behaviour"))
+    return violations
+
+
+# --------------------------------------------------------------------- R012
+
+def _surface(cls: ClassInfo, roots: Sequence[str]) -> Set[str]:
+    writes: Set[str] = set()
+    for name in cls.closure(roots):
+        writes |= set(cls.methods[name].dotted_writes)
+    return writes
+
+
+def _check_backend_surfaces(index: ProgramIndex,
+                            classes: Dict[str, ClassInfo]
+                            ) -> List[LintViolation]:
+    violations: List[LintViolation] = []
+    for pair in SURFACE_PAIRS:
+        cls = classes.get(pair["class"])
+        if cls is None:
+            continue
+        ref_roots = [r for r in pair["reference"] if r in cls.methods]
+        fast_roots = [r for r in pair["fast"] if r in cls.methods]
+        if not ref_roots or not fast_roots:
+            continue
+        ref_surface = _surface(cls, ref_roots)
+        fast_surface = _surface(cls, fast_roots)
+        anchor = cls.methods[fast_roots[0]].node
+        if index.suppressed(cls.path, anchor, "R012"):
+            continue
+        ref_label = "/".join(pair["reference"])
+        fast_label = "/".join(pair["fast"])
+        extra = fast_surface - ref_surface - pair["allowed_fast_extra"]
+        if extra:
+            violations.append(LintViolation(
+                cls.path, anchor.lineno, "R012",
+                f"{cls.name}.{fast_label} writes "
+                f"{sorted(extra)} which the reference path "
+                f"({ref_label}) never writes -- the backends' write "
+                f"surfaces have diverged"))
+        missing = ref_surface - fast_surface
+        if missing:
+            violations.append(LintViolation(
+                cls.path, anchor.lineno, "R012",
+                f"{cls.name}.{ref_label} writes {sorted(missing)} "
+                f"but the fast path ({fast_label}) never does -- "
+                f"certified skipping would lose those updates"))
+    return violations
+
+
+# ------------------------------------------------------------------ driver
+
+def run_contracts(index: ProgramIndex) -> List[LintViolation]:
+    """All whole-program passes over one :class:`ProgramIndex`."""
+    violations: List[LintViolation] = []
+    classes_by_name: Dict[str, ClassInfo] = {}
+    for module in index.files.values():
+        violations.extend(_check_ephemeral_registry(module))
+        violations.extend(_check_ephemeral_reads(index, module))
+        for cls in module.classes.values():
+            classes_by_name.setdefault(cls.name, cls)
+            violations.extend(_check_snapshot_completeness(index, cls))
+    violations.extend(_check_backend_surfaces(index, classes_by_name))
+    violations.sort(key=lambda v: (v.path, v.line, v.code, v.message))
+    return violations

@@ -1,0 +1,120 @@
+"""Report rendering (JSON / SARIF) and baseline support.
+
+The JSON document is the machine-readable twin of the text output; the
+SARIF document is the minimal SARIF 2.1.0 subset code-scanning UIs
+ingest (tool driver + rule metadata + one result per violation).
+
+Baselines grandfather existing findings: ``--write-baseline`` records
+the current violation set, ``--baseline`` filters matching findings on
+later runs so only *new* findings fail the build.  Matching is by
+(relative path, code, message) -- line numbers are deliberately left
+out so unrelated edits above a grandfathered finding don't resurrect
+it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.check.lint.registry import LintViolation, RULE_INFO, RULES
+
+
+def _rel(path: str, root: str) -> str:
+    """Path relative to ``root`` when underneath it (stable baselines),
+    else unchanged."""
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:      # different drive (Windows)
+        return path.replace(os.sep, "/")
+    if rel.startswith(".."):
+        return path.replace(os.sep, "/")
+    return rel.replace(os.sep, "/")
+
+
+def baseline_key(violation: LintViolation,
+                 root: str) -> Tuple[str, str, str]:
+    return (_rel(violation.path, root), violation.code,
+            violation.message)
+
+
+def render_baseline(violations: Sequence[LintViolation],
+                    root: str) -> str:
+    return json.dumps({"version": 1, "findings": [
+        {"path": p, "code": c, "message": m}
+        for p, c, m in sorted({baseline_key(v, root)
+                               for v in violations})
+    ]}, indent=2) + "\n"
+
+
+def load_baseline(path: str) -> set:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return {(entry["path"], entry["code"], entry["message"])
+            for entry in doc.get("findings", [])}
+
+
+def apply_baseline(violations: Sequence[LintViolation], root: str,
+                   baseline: set) -> List[LintViolation]:
+    return [v for v in violations
+            if baseline_key(v, root) not in baseline]
+
+
+def render_json(violations: Sequence[LintViolation],
+                checked: int, root: str) -> str:
+    by_code: Dict[str, int] = {}
+    for violation in violations:
+        by_code[violation.code] = by_code.get(violation.code, 0) + 1
+    doc = {
+        "tool": "repro-lint",
+        "checked_files": checked,
+        "violation_count": len(violations),
+        "violations_by_code": dict(sorted(by_code.items())),
+        "violations": [
+            {"path": _rel(v.path, root), "line": v.line,
+             "code": v.code, "message": v.message}
+            for v in violations
+        ],
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+def render_sarif(violations: Sequence[LintViolation],
+                 checked: int, root: str) -> str:
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": RULES[code]},
+            "fullDescription": {"text": RULE_INFO[code].explanation},
+        }
+        for code in sorted(RULES)
+    ]
+    results = [
+        {
+            "ruleId": v.code,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _rel(v.path, root)},
+                    "region": {"startLine": max(v.line, 1)},
+                },
+            }],
+        }
+        for v in violations
+    ]
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri": "https://example.invalid/repro-lint",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2) + "\n"

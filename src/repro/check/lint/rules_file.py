@@ -1,46 +1,9 @@
-"""AST-based determinism linter for the simulator sources.
+"""Single-file AST rules (R001-R007) and the pragma grammar.
 
-The simulator's claims rest on bit-exact reproducibility: identical
-configurations must produce identical cycle counts on any host, any
-Python build, any process.  These rules catch the ways Python lets
-nondeterminism creep in:
-
-======  ==================================================================
-code    rule
-======  ==================================================================
-R001    no unseeded randomness: module-level ``random.*`` calls and
-        ``random.Random()`` without a seed draw from global, process-
-        dependent state
-R002    no wall-clock reads (``time.time``, ``perf_counter``,
-        ``datetime.now``, ...) -- simulated time is the only clock
-R003    no iteration over bare ``set``/``frozenset`` values where order
-        can leak into behaviour (wrap in ``sorted(...)``; membership
-        tests and order-insensitive reductions are fine)
-R004    integer-only cycle arithmetic: true division assigned to a
-        cycle-carrying name loses exactness (use ``//`` or wrap in
-        ``int()``/``round()``)
-R005    ``JobSpec``/``WorkloadSpec`` fields must keep picklable,
-        JSON-able types -- worker processes and the result cache both
-        serialize them
-R006    no per-instruction object allocation on the tick hot path:
-        list/dict/set literals and comprehensions inside loops of the
-        hot modules (``cpu/core.py``, ``mem/cache.py``) or anywhere in
-        a ``tick()`` body churn the allocator millions of times per
-        simulated second -- hoist them or reuse scratch structures
-R007    no membership tests (``x in d``) or attribute-chain lookups
-        (``a.b.c``) inside the fast backend's active-cycle loop
-        (``_run_fast`` in ``system/machine.py``): the loop runs once
-        per simulated event, so every repeated lookup must be bound to
-        a local before the loop
-======  ==================================================================
-
-Suppressions::
-
-    x = a / b          # repro-lint: disable=R004
-    # repro-lint: disable-file=R002   (anywhere in the file)
-
-``repro lint`` runs this over ``src/repro`` and exits nonzero on any
-finding; CI enforces a clean run.
+``_FileLinter`` walks one module's AST and reports the per-file
+determinism rules; the whole-program contract passes live in
+:mod:`repro.check.lint.contracts`.  The pragma grammar is shared by
+both layers through :func:`parse_pragmas` / :func:`suppressed`.
 """
 
 from __future__ import annotations
@@ -48,18 +11,9 @@ from __future__ import annotations
 import ast
 import os
 import re
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-RULES: Dict[str, str] = {
-    "R001": "unseeded randomness (global random module state)",
-    "R002": "wall-clock read in simulation code",
-    "R003": "iteration over a bare set (order leaks into behaviour)",
-    "R004": "float division assigned to a cycle-carrying name",
-    "R005": "unpicklable field type on JobSpec/WorkloadSpec",
-    "R006": "object allocation inside a tick-path loop (hot modules)",
-    "R007": "unhoisted lookup inside the fast backend's cycle loop",
-}
+from repro.check.lint.registry import RULES, LintViolation
 
 #: Files holding the fast backend's cycle loop (R007) and the function
 #: names the rule applies to inside them.
@@ -109,15 +63,38 @@ _SPEC_TYPES = {
 _SPEC_CLASSES = {"JobSpec", "WorkloadSpec"}
 
 
-@dataclass
-class LintViolation:
-    path: str
-    line: int
-    code: str
-    message: str
+def parse_pragmas(lines: Sequence[str]
+                  ) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """``(file_disabled, line -> disabled codes)`` for one source file."""
+    file_disabled: Set[str] = set()
+    line_disabled: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA.search(text)
+        if not match:
+            continue
+        kind, codes = match.groups()
+        parsed = {code.strip().upper()
+                  for code in codes.split(",") if code.strip()}
+        if "ALL" in parsed:
+            parsed = set(RULES)
+        if kind == "disable-file":
+            file_disabled |= parsed
+        else:
+            line_disabled.setdefault(lineno, set()).update(parsed)
+    return file_disabled, line_disabled
 
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+def suppressed(node: ast.AST, code: str, file_disabled: Set[str],
+               line_disabled: Dict[int, Set[str]]) -> bool:
+    """Pragma check shared by the file rules and the contract passes:
+    a code is suppressed when disabled file-wide or on any line the
+    reported node spans."""
+    if code in file_disabled:
+        return True
+    first = getattr(node, "lineno", 0)
+    last = getattr(node, "end_lineno", first) or first
+    return any(code in line_disabled.get(line, ())
+               for line in range(first, last + 1))
 
 
 class _FileLinter(ast.NodeVisitor):
@@ -126,8 +103,7 @@ class _FileLinter(ast.NodeVisitor):
         self.source = source
         self.lines = source.splitlines()
         self.violations: List[LintViolation] = []
-        self.file_disabled: Set[str] = set()
-        self.line_disabled: Dict[int, Set[str]] = {}
+        self.file_disabled, self.line_disabled = parse_pragmas(self.lines)
         self._random_aliases: Set[str] = set()     # modules aliased to random
         self._random_funcs: Set[str] = set()       # from random import X
         self._time_aliases: Dict[str, str] = {}    # alias -> module
@@ -141,32 +117,12 @@ class _FileLinter(ast.NodeVisitor):
                               for suffix in _FAST_SUFFIXES)
         self._func_stack: List[str] = []
         self._loop_depth = 0
-        self._parse_pragmas()
 
     # -- pragmas -------------------------------------------------------------
 
-    def _parse_pragmas(self) -> None:
-        for lineno, text in enumerate(self.lines, start=1):
-            match = _PRAGMA.search(text)
-            if not match:
-                continue
-            kind, codes = match.groups()
-            parsed = {code.strip().upper()
-                      for code in codes.split(",") if code.strip()}
-            if "ALL" in parsed:
-                parsed = set(RULES)
-            if kind == "disable-file":
-                self.file_disabled |= parsed
-            else:
-                self.line_disabled.setdefault(lineno, set()).update(parsed)
-
     def _suppressed(self, node: ast.AST, code: str) -> bool:
-        if code in self.file_disabled:
-            return True
-        first = getattr(node, "lineno", 0)
-        last = getattr(node, "end_lineno", first) or first
-        return any(code in self.line_disabled.get(line, ())
-                   for line in range(first, last + 1))
+        return suppressed(node, code, self.file_disabled,
+                          self.line_disabled)
 
     def _report(self, node: ast.AST, code: str, message: str) -> None:
         if not self._suppressed(node, code):
@@ -175,8 +131,9 @@ class _FileLinter(ast.NodeVisitor):
 
     # -- entry ---------------------------------------------------------------
 
-    def run(self) -> List[LintViolation]:
-        tree = ast.parse(self.source, filename=self.path)
+    def run(self, tree: Optional[ast.AST] = None) -> List[LintViolation]:
+        if tree is None:
+            tree = ast.parse(self.source, filename=self.path)
         self._collect_set_symbols(tree)
         self.visit(tree)
         return self.violations
@@ -495,54 +452,3 @@ class _FileLinter(ast.NodeVisitor):
         if isinstance(node, ast.Attribute):
             return node.attr in self._set_attrs
         return False
-
-
-def lint_file(path: str) -> List[LintViolation]:
-    with open(path, encoding="utf-8") as handle:
-        source = handle.read()
-    return _FileLinter(path, source).run()
-
-
-def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
-    for path in paths:
-        if os.path.isfile(path):
-            yield path
-            continue
-        for root, dirs, files in os.walk(path):
-            dirs[:] = sorted(d for d in dirs
-                             if d not in ("__pycache__",)
-                             and not d.endswith(".egg-info"))
-            for name in sorted(files):
-                if name.endswith(".py"):
-                    yield os.path.join(root, name)
-
-
-def lint_paths(paths: Sequence[str]) -> Tuple[List[LintViolation], int]:
-    """Lint every Python file under ``paths``; returns (violations,
-    files_checked)."""
-    violations: List[LintViolation] = []
-    checked = 0
-    for path in iter_python_files(paths):
-        checked += 1
-        violations.extend(lint_file(path))
-    return violations, checked
-
-
-def default_lint_root() -> str:
-    """The simulator package directory (``src/repro``) of this checkout."""
-    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-
-
-def run_lint(paths: Optional[Sequence[str]] = None,
-             verbose: bool = True) -> int:
-    """CLI entry: lint ``paths`` (default: the repro package); returns
-    the number of violations."""
-    targets = list(paths) if paths else [default_lint_root()]
-    violations, checked = lint_paths(targets)
-    for violation in violations:
-        print(violation)
-    if verbose:
-        status = "clean" if not violations else \
-            f"{len(violations)} violation(s)"
-        print(f"repro lint: {checked} file(s) checked, {status}")
-    return len(violations)

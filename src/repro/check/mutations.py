@@ -245,6 +245,30 @@ MUTATIONS: Dict[str, tuple] = {
 }
 
 
+def _static_detector(name: str) -> Callable[[], str]:
+    def detect() -> str:
+        from repro.check.lint.selftest import run_static_mutation
+        return run_static_mutation(name)
+    return detect
+
+
+def _register_static_mutations() -> None:
+    """Seeded *source* mutations caught by the contract passes of
+    ``repro lint`` (R010-R012) rather than by running a simulation.
+    The mutation context is a no-op: the seeded violation lives in an
+    in-memory source override inside the detector, never on disk."""
+    from repro.check.lint.selftest import STATIC_MUTATIONS
+    for name in sorted(STATIC_MUTATIONS):
+        description = STATIC_MUTATIONS[name][0]
+        MUTATIONS[f"static-{name}"] = (
+            contextlib.nullcontext,
+            f"[static] {description}",
+            _static_detector(name))
+
+
+_register_static_mutations()
+
+
 def run_mutation_self_test(names=None) -> List[MutationResult]:
     """Apply each mutation and assert the checker/litmus catches it."""
     results: List[MutationResult] = []

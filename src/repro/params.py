@@ -155,6 +155,17 @@ class SchedulerParams:
     quantum_cycles: int = 1_000_000   # effectively: switch only on blocking calls
 
 
+#: The ephemeral registry: SystemParams fields that configure tooling
+#: (checkers, watchdogs, backend selection) rather than the simulated
+#: machine.  They are excluded from serialization and cache
+#: fingerprints, and the static contract auditor (rule R011) forbids
+#: reading them outside a short list of dispatch gates.  Must stay a
+#: literal set: ``repro lint`` cross-checks it against its own registry
+#: and ``repro.params_io`` aliases it for fingerprint exclusion.
+EPHEMERAL_FIELDS = frozenset({
+    "check", "watchdog_cycles", "watchdog_node_cycles", "backend"})
+
+
 @dataclass(frozen=True)
 class SystemParams:
     """Complete description of one simulated machine."""

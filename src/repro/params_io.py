@@ -27,6 +27,7 @@ from repro.params import (
     ConsistencyImpl,
     ConsistencyModel,
     MemoryLatencies,
+    EPHEMERAL_FIELDS,
     ProcessorParams,
     SchedulerParams,
     SystemParams,
@@ -42,7 +43,9 @@ _ENUMS = {
 # must not leak into saved configs or cache fingerprints (a sanitizer-on
 # run produces bit-identical results to a sanitizer-off run, and the fast
 # backend produces bit-identical results to the reference backend).
-_EPHEMERAL = {"check", "watchdog_cycles", "watchdog_node_cycles", "backend"}
+# Aliases the single registry in repro.params; the static contract
+# auditor (R011) verifies the two cannot drift apart.
+_EPHEMERAL = EPHEMERAL_FIELDS
 
 _NESTED = {
     "processor": ProcessorParams,
