@@ -19,6 +19,15 @@ backends"); its wall time and speedup over the reference backend are
 recorded as ``fast_serial_s`` / ``fast_speedup`` and its results must
 be bit-identical to the reference baseline.
 
+A sixth pass drives the sweep through the execution fabric with two
+loopback workers (``dispatch="fabric"``, ``workers=("spawn:2",)``)
+and records ``fabric_loopback_s`` / ``fabric_loopback_speedup``.
+Identity with the serial baseline is asserted; the speedup itself is
+**informational only** (``fabric_loopback_gating: false``) -- at
+smoke-test job sizes the socket round-trips and worker spawn cost
+dominate, so loopback wall time tracks coordination overhead, not the
+multi-host win the fabric exists for.
+
 Checked invariants: all paths return bit-identical results, and the
 warm-cache rerun is at least 5x faster than the cold serial run.
 Parallel speedup expectations scale with the cores actually available
@@ -101,12 +110,16 @@ def test_runner_scaling(tmp_path):
                             trace_dir=trace_dir)
     parallel = run_many(specs, jobs=jobs, cache=None, arenas="auto",
                         trace_dir=trace_dir)
+    fabric = run_many(specs, jobs=jobs, cache=None, arenas="auto",
+                      trace_dir=trace_dir, dispatch="fabric",
+                      workers=("spawn:2",))
     warm = run_many(specs, jobs=1, cache=cache, arenas="off")
 
     # All paths must agree bit-for-bit with the generator baseline.
     _assert_identical(cold, fast, "fast backend")
     _assert_identical(cold, arena_serial, "arena replay")
     _assert_identical(cold, parallel, "fork-server pool")
+    _assert_identical(cold, fabric, "fabric loopback")
     _assert_identical(cold, warm, "warm cache")
     assert cold.cache_misses == len(specs)
     assert warm.cache_hits == len(specs)
@@ -116,6 +129,7 @@ def test_runner_scaling(tmp_path):
     warm_speedup = cold.wall_time / max(warm.wall_time, 1e-9)
     arena_speedup = cold.wall_time / max(arena_serial.wall_time, 1e-9)
     fast_speedup = cold.wall_time / max(fast.wall_time, 1e-9)
+    fabric_speedup = cold.wall_time / max(fabric.wall_time, 1e-9)
     if cores > 1:
         parallel_speedup = cold.wall_time / max(parallel.wall_time, 1e-9)
         regression = parallel_speedup < 1.0
@@ -138,14 +152,22 @@ def test_runner_scaling(tmp_path):
         "trace_gen_s": round(arena_serial.trace_gen_s, 3),
         "sim_s": round(arena_serial.sim_s, 3),
         "parallel_s": round(parallel.wall_time, 3),
+        "fabric_loopback_s": round(fabric.wall_time, 3),
         "warm_cache_s": round(warm.wall_time, 3),
         "arena_serial_speedup": round(arena_speedup, 2),
         "fast_speedup": round(fast_speedup, 2),
         "parallel_speedup": None if parallel_speedup is None
         else round(parallel_speedup, 2),
         "parallel_regression": regression,
+        # Loopback fabric wall time measures socket/spawn coordination
+        # overhead at smoke sizes, not the multi-host win; tracked but
+        # never asserted, and dashboards must not gate on it.
+        "fabric_loopback_speedup": round(fabric_speedup, 2),
+        "fabric_loopback_gating": False,
+        "fabric_dispatch": fabric.dispatch,
         "arena_generator_identical": True,   # asserted above
         "fast_backend_identical": True,      # asserted above
+        "fabric_loopback_identical": True,   # asserted above
         "warm_cache_speedup": round(warm_speedup, 2),
         "serial_throughput_instr_per_s": round(cold.throughput),
         "fast_throughput_instr_per_s": round(fast.throughput),
@@ -163,6 +185,9 @@ def test_runner_scaling(tmp_path):
           f"{arena_serial.sim_s:.2f}s) | "
           f"parallel({parallel.jobs}) {parallel.wall_time:.2f}s "
           f"({parallel_txt}){verdict} | "
+          f"fabric loopback {fabric.wall_time:.2f}s "
+          f"({fabric_speedup:.2f}x via {fabric.dispatch}, "
+          f"non-gating) | "
           f"warm cache {warm.wall_time:.3f}s ({warm_speedup:.0f}x) | "
           f"{cores} core(s)")
 
@@ -197,9 +222,14 @@ def test_checkpoint_overhead(tmp_path):
     is run three ways: checkpoints off, at ``DEFAULT_CHECKPOINT_EVERY``,
     and at a deliberately tiny interval.  The default-interval overhead
     (``checkpoint_s / sim_s``) is asserted under budget; the
-    tiny-interval ratio is recorded in the bench JSON unasserted so the
-    worst-case cost stays visible across PRs.  All three runs must
-    return bit-identical results.
+    tiny-interval ratio is a *deliberate worst-case probe* -- an
+    interval ~50x denser than anyone runs in practice -- recorded so
+    the cost curve stays visible across PRs.  It is emitted under an
+    explicit non-gating label (``checkpoint_tiny_gating: false`` plus
+    a ``checkpoint_tiny_label`` note) so a dashboard scanning the
+    bench JSON cannot mistake a 1.1x ratio here for a regression
+    against the 8% budget, which applies to the default interval only.
+    All three runs must return bit-identical results.
 
     Budget history: the original robustness plan set 5% when sim ran at
     ~17k instr/s.  The execution-backend PR sped the simulator itself up
@@ -240,6 +270,11 @@ def test_checkpoint_overhead(tmp_path):
         "checkpoint_tiny_every": tiny_every,
         "checkpoint_tiny_s": round(tiny.checkpoint_s, 3),
         "checkpoint_tiny_overhead": round(tiny_ratio, 4),
+        "checkpoint_tiny_gating": False,
+        "checkpoint_tiny_label": (
+            "worst-case probe at a deliberately tiny interval; "
+            "informational only, never compared against "
+            "checkpoint_budget"),
     })
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
     print(f"\ncheckpoints off {off.wall_time:.2f}s | "

@@ -57,6 +57,13 @@ def _ephemeral_read_in_tick(source: str) -> str:
     return mutated
 
 
+def _fabric_socket_no_timeout(source: str) -> str:
+    """Append a helper that blocks on a socket with no timeout armed."""
+    return source + (
+        "\n\ndef _r008_probe(sock):\n"
+        "    return sock.recv(4)\n")
+
+
 def _fast_only_write(source: str) -> str:
     """Insert a fast-path-only attribute write into tick_fast()."""
     pattern = re.compile(r"^(    def tick_fast\(self\b[^\n]*\n)",
@@ -91,6 +98,12 @@ STATIC_MUTATIONS: Dict[str, Tuple[str, str, Callable[[str], str], str]] = {
         os.path.join("cpu", "core.py"),
         _fast_only_write,
         "R012"),
+    "fabric-socket-no-timeout": (
+        "add a socket recv with no settimeout to the fabric protocol "
+        "-- a lost peer would wedge the wait forever",
+        os.path.join("run", "fabric", "protocol.py"),
+        _fabric_socket_no_timeout,
+        "R008"),
 }
 
 

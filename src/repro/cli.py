@@ -11,6 +11,9 @@ Usage::
     python -m repro lint [paths...]             # determinism linter
     python -m repro profile [oltp|dss|tpcc]     # hot-path profiling harness
     python -m repro replay BUNDLE               # re-run a crash-triage bundle
+    python -m repro sweep [oltp|dss|tpcc]       # seed sweep (fabric-capable)
+    python -m repro worker --connect HOST:PORT  # serve jobs for a coordinator
+    python -m repro gc [--dry-run]              # retention GC for cache debris
 
 ``--quick`` runs small simulations (~seconds each) for smoke testing;
 the defaults match the benchmark harness.  ``validate``, ``check`` and
@@ -37,6 +40,16 @@ Runner options (accepted before or after the subcommand):
     everywhere; results are byte-identical either way.
 ``--trace-dir DIR``
     Store trace arenas at ``DIR`` (equivalent to ``REPRO_TRACE_DIR``).
+``--workers SPECS``
+    Fabric worker specs, comma-separated: ``spawn:N`` forks local
+    workers, ``ssh:HOST`` (or a bare hostname) launches one over ssh,
+    ``wait:N`` expects N external ``repro worker`` processes to dial
+    in.  Implies ``--dispatch fabric`` (default: ``REPRO_WORKERS``).
+``--dispatch local|fabric``
+    Execution strategy: ``local`` (process pool, then serial) or
+    ``fabric`` (multi-host coordinator with worker leases and
+    failover, degrading to local when all workers are lost).  Results
+    are byte-identical either way (default: ``REPRO_DISPATCH``).
 
 Resilience options (accepted before or after the subcommand):
 
@@ -196,6 +209,62 @@ def cmd_sweep_status() -> int:
     return 0
 
 
+def cmd_sweep(args, quick: bool) -> int:
+    """Run a seed sweep through the configured dispatcher chain.
+
+    One job per seed for the chosen workload; with ``--workers`` the
+    sweep fans out over the fabric (and degrades to local execution if
+    every worker is lost).  Exits nonzero when any job exhausted its
+    retries.
+    """
+    from repro.params import default_system
+    from repro.run.jobs import JobSpec, WorkloadSpec
+    sizes_key = "dss" if args.workload == "dss" else "oltp"
+    instr, warm = _sizes(sizes_key, quick)
+    instructions = args.instructions if args.instructions is not None \
+        else instr
+    warmup = args.warmup if args.warmup is not None else warm
+    specs = [JobSpec(default_system(), WorkloadSpec(args.workload),
+                     instructions=instructions, warmup=warmup, seed=seed)
+             for seed in range(max(1, args.seeds))]
+    report = run.run_many(specs)
+    print(report.format_summary())
+    if report.fell_back_to_serial:
+        print("sweep: degraded to serial execution "
+              "(workers/pool unavailable)")
+    manifest = run.shared_manifest()
+    if manifest is not None:
+        print(manifest.format_summary())
+    for outcome in report.failures:
+        print(f"FAILED {outcome.spec.describe()}: {outcome.error}")
+    return 1 if report.failures else 0
+
+
+def cmd_gc(args) -> int:
+    """Plan (and, without ``--dry-run``, apply) cache-debris retention."""
+    import dataclasses as _dc
+
+    from repro.run import gc as run_gc
+    cache = run.shared_cache()
+    cache_dir = cache.path if cache is not None \
+        else run.default_cache_dir()
+    rules = run_gc.DEFAULT_RULES
+    if args.max_age_days is not None:
+        age = max(0.0, args.max_age_days) * 86400.0
+        rules = {category: _dc.replace(rule, max_age_s=age)
+                 for category, rule in rules.items()}
+    plan = run_gc.plan_gc(cache_dir, rules=rules,
+                          manifest=run.shared_manifest())
+    print(f"gc: {cache_dir}")
+    print(plan.format_plan(verbose=args.verbose))
+    if args.dry_run:
+        print("gc: dry run, nothing deleted")
+        return 0
+    removed, freed = plan.apply()
+    print(f"gc: removed {removed} item(s), freed {freed} bytes")
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     # Shared options use default=None / SUPPRESS so a flag given before
     # the subcommand is not clobbered by the subparser's defaults.
@@ -243,6 +312,17 @@ def _build_parser() -> argparse.ArgumentParser:
                              "resume from the newest one (default "
                              "$REPRO_CHECKPOINT_EVERY or 100000; 0 "
                              "disables writes)")
+    common.add_argument("--workers", default=argparse.SUPPRESS,
+                        metavar="SPECS",
+                        help="fabric worker specs, comma-separated "
+                             "(spawn:N, ssh:HOST, wait:N); implies "
+                             "--dispatch fabric (default: "
+                             "$REPRO_WORKERS)")
+    common.add_argument("--dispatch", default=argparse.SUPPRESS,
+                        choices=["local", "fabric"],
+                        help="execution strategy (default: "
+                             "$REPRO_DISPATCH, or fabric when workers "
+                             "are given)")
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      parents=[common])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -320,6 +400,41 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="resume from the checkpoint copied into the "
                              "bundle instead of replaying from a cold "
                              "start")
+    sweep = sub.add_parser(
+        "sweep", parents=[common],
+        help="run a seed sweep through the configured dispatcher "
+             "(local pool or multi-host fabric)")
+    sweep.add_argument("workload", nargs="?", default="oltp",
+                       choices=["oltp", "dss", "tpcc"])
+    sweep.add_argument("--seeds", type=int, default=8, metavar="N",
+                       help="number of seeds to sweep (default 8)")
+    sweep.add_argument("--instructions", type=int, default=None,
+                       metavar="N",
+                       help="measured instructions per job (default: "
+                            "the workload's benchmark size; --quick "
+                            "shrinks it)")
+    sweep.add_argument("--warmup", type=int, default=None, metavar="N")
+    worker = sub.add_parser(
+        "worker",
+        help="serve simulation jobs to a fabric coordinator")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address to dial")
+    worker.add_argument("--name", default=None,
+                        help="advisory worker name (the coordinator "
+                             "assigns the canonical one)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-event stderr logging")
+    gc = sub.add_parser(
+        "gc", parents=[common],
+        help="apply retention caps to checkpoints, triage bundles, "
+             "arenas and quarantined entries beside the result cache")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="print the eviction plan without deleting")
+    gc.add_argument("--verbose", action="store_true",
+                    help="list every planned eviction and pin")
+    gc.add_argument("--max-age-days", type=float, default=None,
+                    metavar="D",
+                    help="override every category's age cap to D days")
     return parser
 
 
@@ -407,8 +522,19 @@ def cmd_profile(args, quick: bool) -> int:
 
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "worker":
+        # Workers are configured by the coordinator's welcome frame
+        # (fault plan, cache dir, checkpoint interval); configuring the
+        # local runner here would grow a stray cache in the worker's
+        # working directory.
+        from repro.run.fabric.worker import serve_worker
+        return serve_worker(args.connect, name=args.name,
+                            quiet=args.quiet)
     quick = getattr(args, "quick", False)
     no_cache = getattr(args, "no_cache", False)
+    raw_workers = getattr(args, "workers", None)
+    workers = tuple(part.strip() for part in raw_workers.split(",")
+                    if part.strip()) if raw_workers is not None else None
     run.configure(jobs=getattr(args, "jobs", None) or run.default_jobs(),
                   use_cache=not no_cache,
                   cache_dir=(None if no_cache
@@ -420,7 +546,9 @@ def main(argv=None) -> int:
                   else None,
                   trace_dir=getattr(args, "trace_dir", None),
                   checkpoint_every=getattr(args, "checkpoint_every",
-                                           None))
+                                           None),
+                  dispatch=getattr(args, "dispatch", None),
+                  workers=workers)
 
     if args.command == "lint":
         from repro.check.lint import RULES, explain_rule, run_lint
@@ -449,6 +577,10 @@ def main(argv=None) -> int:
         return cmd_replay(args)
     if args.command == "sweep-status":
         return cmd_sweep_status()
+    if args.command == "sweep":
+        return cmd_sweep(args, quick)
+    if args.command == "gc":
+        return cmd_gc(args)
     if args.command == "characterize":
         cmd_characterize(quick)
     elif args.command == "figure":

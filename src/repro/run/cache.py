@@ -27,7 +27,7 @@ import os
 import tempfile
 import warnings
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core.experiment import SimulationResult
 from repro.run.faults import plan_from_env
@@ -234,9 +234,15 @@ class ResultCache:
 
     def quarantine_entries(self) -> int:
         """Number of entries currently sitting in ``quarantine/``."""
+        return len(self.quarantine_files())
+
+    def quarantine_files(self) -> List[Path]:
+        """Quarantined entries, sorted; ``repro gc`` evicts the oldest
+        beyond the retention caps (they are autopsy evidence, not
+        results, so bounded retention is safe)."""
         if not self.quarantine_path.is_dir():
-            return 0
-        return sum(1 for _ in self.quarantine_path.glob("*.json"))
+            return []
+        return sorted(self.quarantine_path.glob("*.json"))
 
     def purge(self) -> int:
         """Delete every cached entry, orphaned temp file, and

@@ -87,6 +87,22 @@ class CorruptCheckpoint(ValueError):
     """A checkpoint file failed magic, checksum or format validation."""
 
 
+def job_checkpoint_dirs(cache_dir: Union[str, Path]) -> List[Path]:
+    """Every per-job checkpoint directory under ``cache_dir``, sorted.
+
+    Directory names are full 64-hex job fingerprints (anything else --
+    stray files, quarantine debris promoted by hand -- is ignored), so
+    ``repro gc`` can match them against the sweep manifest for pinning.
+    """
+    root = Path(cache_dir) / CHECKPOINT_DIR
+    if not root.is_dir():
+        return []
+    return sorted(
+        entry for entry in root.iterdir()
+        if entry.is_dir() and len(entry.name) == 64
+        and all(c in "0123456789abcdef" for c in entry.name))
+
+
 def checkpoint_every_from_env(
         default: int = DEFAULT_CHECKPOINT_EVERY) -> int:
     """The checkpoint interval from ``REPRO_CHECKPOINT_EVERY``.

@@ -1,0 +1,45 @@
+"""Fault-tolerant multi-host sweep fabric.
+
+The fabric fans a sweep out over worker processes on any number of
+hosts through a deliberately small, length-prefixed JSON-over-TCP
+protocol (:mod:`~repro.run.fabric.protocol`).  A coordinator
+(:mod:`~repro.run.fabric.coordinator`) owns the sweep: it leases jobs
+to connected workers, tracks per-worker heartbeats
+(:mod:`~repro.run.fabric.leases`), re-dispatches work lost to dead or
+silent workers, and degrades to local execution when every worker is
+gone.  Workers (:mod:`~repro.run.fabric.worker`, ``repro worker
+--connect HOST:PORT``) dial in, execute jobs through exactly the same
+checkpoint/triage/fault-injection path the fork-server pool uses, and
+ship results back with at-least-once delivery.
+
+Everything that makes jobs relocatable already exists elsewhere:
+content-hashed :class:`~repro.run.jobs.JobSpec` fingerprints, the
+checksummed result cache, the sweep manifest's first-writer-wins
+attempt log, and checkpoint resume.  The fabric is a transport, not new
+semantics -- results are byte-identical to a serial run, with or
+without injected transport faults (``REPRO_FAULTS`` kinds ``netdrop``,
+``netdup``, ``netslow``, ``workerdie``).
+"""
+
+from __future__ import annotations
+
+from repro.run.fabric.coordinator import (
+    FabricConfig,
+    FabricDispatcher,
+    parse_worker_spec,
+)
+from repro.run.fabric.leases import LeaseTable, WorkerLease
+from repro.run.fabric.protocol import (
+    Channel,
+    ConnectionClosed,
+    ProtocolError,
+    parse_address,
+)
+from repro.run.fabric.worker import serve_worker
+
+__all__ = [
+    "Channel", "ConnectionClosed", "ProtocolError", "parse_address",
+    "WorkerLease", "LeaseTable",
+    "FabricConfig", "FabricDispatcher", "parse_worker_spec",
+    "serve_worker",
+]

@@ -1,0 +1,188 @@
+"""Worker leases: who is alive, who owns which job, what expired.
+
+The lease table is pure bookkeeping -- every method takes the current
+time as an argument, so the policy is deterministic given a sequence of
+events and fully unit-testable with a fake clock.  The coordinator owns
+the only wall clock and feeds the same ``now`` to a whole poll cycle.
+
+Lifecycle of one dispatch:
+
+* ``grant(...)`` -- a job message went out; the worker owes an ``ack``
+  within ``ack_timeout`` seconds.  A grant that never acknowledges is
+  *innocent*: the job message (or the ack) was lost in transit, the job
+  never started, so it requeues at the same attempt number.
+* ``acknowledge(...)`` -- the worker confirmed receipt and is
+  executing.  Its background heartbeat thread keeps
+  :meth:`heartbeat` fresh even while the main thread simulates, so a
+  long (or fault-injected hanging) job does not read as a dead worker.
+* expiry -- :meth:`expired` classifies overdue leases:
+
+  - ``ack-timeout``: granted, never acknowledged -- requeue, keep the
+    worker (it may simply have missed one frame);
+  - ``worker-lost``: no heartbeat for ``lease_timeout`` seconds -- the
+    worker process is gone (``workerdie``, SIGKILL, network partition);
+    requeue at the same attempt and drop the worker;
+  - ``job-timeout``: acknowledged longer ago than the retry policy's
+    per-attempt budget -- the *attempt* is charged (matching the local
+    pool's abandonment semantics) and retried elsewhere.
+
+Late results from a worker whose lease was revoked are handled by the
+coordinator with first-writer-wins: the outcome slot and the manifest
+attempt log each accept exactly one completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Default seconds a worker may go silent before its lease is revoked.
+DEFAULT_LEASE_TIMEOUT = 3.0
+
+#: Default seconds between a job grant and the worker's ack.
+DEFAULT_ACK_TIMEOUT = 5.0
+
+
+@dataclass
+class WorkerLease:
+    """One dispatched job's claim on one worker."""
+
+    worker: str
+    job_id: int
+    index: int            # outcome slot in the sweep
+    fingerprint: str
+    attempt: int
+    dispatch_seq: int     # global dispatch counter (workerdie roll key)
+    granted_at: float
+    acked_at: Optional[float] = None
+
+    @property
+    def acknowledged(self) -> bool:
+        return self.acked_at is not None
+
+    def age(self, now: float) -> float:
+        return max(0.0, now - self.granted_at)
+
+
+@dataclass
+class WorkerInfo:
+    """Liveness and accounting for one connected worker."""
+
+    name: str
+    joined_at: float
+    last_heartbeat: float
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    lease: Optional[WorkerLease] = field(default=None, repr=False)
+
+    def heartbeat_age(self, now: float) -> float:
+        return max(0.0, now - self.last_heartbeat)
+
+
+class LeaseTable:
+    """Deterministic lease/liveness state for the coordinator."""
+
+    def __init__(self, lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 ack_timeout: float = DEFAULT_ACK_TIMEOUT,
+                 job_timeout: Optional[float] = None):
+        self.lease_timeout = float(lease_timeout)
+        self.ack_timeout = float(ack_timeout)
+        self.job_timeout = job_timeout
+        self.workers: Dict[str, WorkerInfo] = {}
+
+    # --------------------------------------------------------- membership
+
+    def join(self, name: str, now: float) -> WorkerInfo:
+        info = WorkerInfo(name, joined_at=now, last_heartbeat=now)
+        self.workers[name] = info
+        return info
+
+    def drop(self, name: str) -> Optional[WorkerLease]:
+        """Remove a worker; returns its orphaned lease, if any."""
+        info = self.workers.pop(name, None)
+        return info.lease if info is not None else None
+
+    def heartbeat(self, name: str, now: float) -> None:
+        info = self.workers.get(name)
+        if info is not None:
+            info.last_heartbeat = now
+
+    # ------------------------------------------------------------- leases
+
+    def idle_workers(self) -> List[str]:
+        """Names of live workers with no outstanding lease, sorted for
+        deterministic assignment order."""
+        return sorted(name for name, info in self.workers.items()
+                      if info.lease is None)
+
+    def grant(self, name: str, job_id: int, index: int, fingerprint: str,
+              attempt: int, dispatch_seq: int, now: float) -> WorkerLease:
+        info = self.workers[name]
+        assert info.lease is None, f"worker {name} already leased"
+        lease = WorkerLease(name, job_id, index, fingerprint, attempt,
+                            dispatch_seq, granted_at=now)
+        info.lease = lease
+        return lease
+
+    def acknowledge(self, name: str, job_id: int, now: float) -> bool:
+        """Mark a grant acknowledged; ``False`` for stale/unknown acks."""
+        info = self.workers.get(name)
+        if info is None or info.lease is None \
+                or info.lease.job_id != job_id:
+            return False
+        if info.lease.acked_at is None:
+            info.lease.acked_at = now
+        self.heartbeat(name, now)
+        return True
+
+    def release(self, name: str, job_id: Optional[int] = None
+                ) -> Optional[WorkerLease]:
+        """Clear a worker's lease (optionally only if it matches
+        ``job_id``); returns the released lease."""
+        info = self.workers.get(name)
+        if info is None or info.lease is None:
+            return None
+        if job_id is not None and info.lease.job_id != job_id:
+            return None
+        lease, info.lease = info.lease, None
+        return lease
+
+    def lease_for_job(self, job_id: int) -> Optional[WorkerLease]:
+        for name in sorted(self.workers):
+            lease = self.workers[name].lease
+            if lease is not None and lease.job_id == job_id:
+                return lease
+        return None
+
+    # ------------------------------------------------------------- expiry
+
+    def expired(self, now: float) -> List[Tuple[WorkerLease, str]]:
+        """Overdue leases as ``(lease, reason)``, reasons being
+        ``worker-lost`` / ``ack-timeout`` / ``job-timeout``.
+
+        The caller decides what each reason means for requeueing; this
+        method only *classifies* and does not mutate the table, so one
+        poll cycle sees a consistent view.  ``worker-lost`` wins over
+        the other reasons: a dead worker's lease must requeue
+        innocently even if its attempt also ran long.
+        """
+        out: List[Tuple[WorkerLease, str]] = []
+        for name in sorted(self.workers):
+            info = self.workers[name]
+            lease = info.lease
+            if lease is None:
+                continue
+            if info.heartbeat_age(now) > self.lease_timeout:
+                out.append((lease, "worker-lost"))
+            elif not lease.acknowledged and \
+                    now - lease.granted_at > self.ack_timeout:
+                out.append((lease, "ack-timeout"))
+            elif lease.acknowledged and self.job_timeout is not None \
+                    and now - lease.acked_at > self.job_timeout:
+                out.append((lease, "job-timeout"))
+        return out
+
+    def lost_workers(self, now: float) -> List[str]:
+        """Live-list entries whose heartbeat went stale (leased or not)."""
+        return sorted(name for name, info in self.workers.items()
+                      if info.heartbeat_age(now) > self.lease_timeout)

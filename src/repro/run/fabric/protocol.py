@@ -1,0 +1,210 @@
+"""Length-prefixed JSON framing with deterministic transport faults.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON; every message is a JSON object carrying a ``type``
+key.  The format is deliberately boring: any language (or a human with
+``nc`` and patience) can speak it, and there is nothing version-fragile
+to negotiate beyond the ``hello``/``welcome`` handshake.
+
+:class:`Channel` wraps one connected socket.  Sends are serialized
+under a lock (the worker's heartbeat thread and its main loop share the
+channel) and receives keep a partial-frame buffer, so a timeout in the
+middle of a frame never desynchronizes the stream -- the next call
+resumes exactly where the bytes stopped.
+
+Transport fault injection (``REPRO_FAULTS`` kinds ``netdrop`` /
+``netdup`` / ``netslow``) lives here, on the *send* side: each
+non-handshake message rolls the channel's :class:`FaultPlan` keyed by
+``(channel name, message type, send sequence)``, so resends roll fresh
+-- a dropped frame cannot deterministically drop forever -- while a
+given run injects reproducibly.  Handshake frames are exempt: a fabric
+that cannot even say hello tests nothing.
+
+Every blocking socket operation in this package sets an explicit
+timeout first (lint rule R008): an unbounded ``recv`` on a dead peer
+is exactly the hang the lease machinery exists to prevent.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.run.faults import FaultPlan
+
+#: Frame header: payload length, 4-byte big-endian unsigned.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload; anything larger is a protocol
+#: error, not a result (a tiny-simulation result dict is a few KiB).
+MAX_FRAME = 64 * 1024 * 1024
+
+#: Message types exempt from transport fault injection: dropping the
+#: handshake proves nothing and deadlocks the join.
+HANDSHAKE_TYPES = ("hello", "welcome")
+
+#: Socket timeout used when the caller asked to block "forever": the
+#: loop re-arms it, so the wait is unbounded but never uninterruptible.
+_BLOCK_SLICE = 5.0
+
+
+class ProtocolError(Exception):
+    """The peer sent bytes that are not a well-formed frame."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer went away (EOF or a transport-level OS error)."""
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Split ``HOST:PORT`` (IPv6 hosts may be bracketed)."""
+    text = text.strip()
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    host = host.strip("[]") or "127.0.0.1"
+    return host, int(port)
+
+
+class Channel:
+    """One framed, fault-injectable JSON connection."""
+
+    def __init__(self, sock: socket.socket, name: str = "peer",
+                 plan: Optional[FaultPlan] = None):
+        self._sock = sock
+        self.name = name
+        self.plan = plan
+        self._rbuf = b""
+        self._lock = threading.Lock()
+        self._send_seq = 0
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not a TCP socket (tests use socketpairs)
+
+    # -------------------------------------------------------------- send
+
+    def send_json(self, message: Dict[str, Any],
+                  timeout: float = 10.0) -> None:
+        """Send one message (at-most-once under injected ``netdrop``).
+
+        Raises :class:`ConnectionClosed` when the peer is gone.  Fault
+        injection happens *after* serialization: a dropped or duplicated
+        frame is always a well-formed frame, so the failure modes match
+        a real lossy transport, not a corrupting one.
+        """
+        payload = json.dumps(message, sort_keys=True).encode("utf-8")
+        frame = HEADER.pack(len(payload)) + payload
+        with self._lock:
+            copies = self._fault_copies(message)
+            try:
+                self._sock.settimeout(timeout)
+                for _ in range(copies):
+                    self._sock.sendall(frame)
+            except socket.timeout as exc:
+                raise ConnectionClosed(f"send timed out: {exc}") from exc
+            except OSError as exc:
+                raise ConnectionClosed(f"send failed: {exc}") from exc
+
+    def _fault_copies(self, message: Dict[str, Any]) -> int:
+        """How many times to put this frame on the wire (0, 1 or 2)."""
+        plan = self.plan
+        mtype = str(message.get("type", "?"))
+        if plan is None or mtype in HANDSHAKE_TYPES:
+            return 1
+        seq = self._send_seq
+        self._send_seq += 1
+        token = f"{self.name}:{mtype}"
+        if plan.roll("netslow", token, seq):
+            time.sleep(plan.netslow_seconds)
+        if plan.roll("netdrop", token, seq):
+            return 0
+        if plan.roll("netdup", token, seq):
+            return 2
+        return 1
+
+    # -------------------------------------------------------------- recv
+
+    def recv_json(self, timeout: Optional[float] = 1.0
+                  ) -> Optional[Dict[str, Any]]:
+        """Receive one message; ``None`` on timeout (buffer preserved).
+
+        ``timeout=None`` blocks until a message or disconnection.
+        Raises :class:`ConnectionClosed` on EOF and
+        :class:`ProtocolError` on malformed frames.
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout  # repro-lint: disable=R002
+        while True:
+            frame = self._take_frame()
+            if frame is not None:
+                return self._decode(frame)
+            slice_s = _BLOCK_SLICE
+            if deadline is not None:
+                remaining = deadline - time.monotonic()  # repro-lint: disable=R002
+                if remaining <= 0:
+                    return None
+                slice_s = min(remaining, _BLOCK_SLICE)
+            try:
+                self._sock.settimeout(slice_s)
+                data = self._sock.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError as exc:
+                raise ConnectionClosed(f"recv failed: {exc}") from exc
+            if not data:
+                raise ConnectionClosed("peer closed the connection")
+            self._rbuf += data
+
+    def _take_frame(self) -> Optional[bytes]:
+        """Pop one complete frame from the receive buffer, if present."""
+        if len(self._rbuf) < HEADER.size:
+            return None
+        (length,) = HEADER.unpack_from(self._rbuf)
+        if length > MAX_FRAME:
+            raise ProtocolError(
+                f"frame of {length} bytes exceeds the {MAX_FRAME}-byte "
+                f"cap -- stream desynchronized or peer misbehaving")
+        end = HEADER.size + length
+        if len(self._rbuf) < end:
+            return None
+        frame = self._rbuf[HEADER.size:end]
+        self._rbuf = self._rbuf[end:]
+        return frame
+
+    @staticmethod
+    def _decode(frame: bytes) -> Dict[str, Any]:
+        try:
+            message = json.loads(frame.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"undecodable frame: {exc}") from exc
+        if not isinstance(message, dict):
+            raise ProtocolError(
+                f"expected a JSON object, got {type(message).__name__}")
+        return message
+
+    # ------------------------------------------------------------- close
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def connect_channel(address: str, name: str = "peer",
+                    timeout: float = 10.0,
+                    plan: Optional[FaultPlan] = None) -> Channel:
+    """Dial ``HOST:PORT`` and wrap the socket in a :class:`Channel`."""
+    host, port = parse_address(address)
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(timeout)
+    return Channel(sock, name=name, plan=plan)

@@ -187,58 +187,75 @@ def make_batch_payload(base: Dict[str, Any],
 
 # ------------------------------------------------------------- worker side
 
+def run_entry(spec_dict: Dict[str, Any], attempt: int,
+              arena: Optional[str], plan,
+              cache_dir: Optional[str],
+              checkpoint_every: int) -> Dict[str, Any]:
+    """Execute one job dict with full worker semantics; never raises.
+
+    This is the single per-job execution path shared by the fork-server
+    pool (:func:`_execute_batch`) and the fabric worker
+    (:mod:`repro.run.fabric.worker`): the clock starts before fault
+    injection, faults come from the explicit ``plan`` (never the
+    worker's inherited environment), checkpoints/triage land under
+    ``cache_dir`` when one is given, and any exception -- injected or
+    real -- is folded into the returned outcome dict so one bad job
+    cannot poison its neighbours or its transport.
+    """
+    start = time.perf_counter()  # repro-lint: disable=R002
+    info: Dict[str, Any] = {}
+    try:
+        spec = JobSpec.from_dict(spec_dict)
+        if plan is not None:
+            fingerprint = spec.fingerprint()
+            plan.maybe_crash(fingerprint, attempt)
+            plan.maybe_hang(fingerprint, attempt)
+        workload = _arena_workload(arena)
+        if cache_dir:
+            from repro.run import checkpoint as ckpt
+            store = ckpt.CheckpointStore.for_job(
+                cache_dir, spec.fingerprint()) \
+                if checkpoint_every > 0 else None
+            result, info = ckpt.run_spec(
+                spec, workload=workload, store=store,
+                every=checkpoint_every, faults=plan, attempt=attempt,
+                triage_dir=cache_dir)
+        else:
+            result = spec.run(workload=workload)
+    except Exception as exc:  # noqa: BLE001 -- per-job isolation
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "elapsed": time.perf_counter() - start,  # repro-lint: disable=R002
+            "bundle": getattr(exc, "__triage_bundle__", ""),
+            "start_offset": getattr(exc, "__resumed_from__", 0),
+        }
+    return {
+        "ok": True,
+        "result": result.to_dict(),
+        "elapsed": time.perf_counter() - start,  # repro-lint: disable=R002
+        "ckpt_s": float(info.get("ckpt_s", 0.0)),
+        "resumed_from": int(info.get("resumed_from", 0)),
+    }
+
+
 def _execute_batch(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     """Worker entry point: run every job of one chunk independently.
 
-    Mirrors the single-job ``_execute_payload`` semantics per job: the
-    clock starts before fault injection, faults come from the payload's
-    captured plan (not the worker's environment), and any exception --
-    injected or real -- is isolated to its job's outcome so one bad job
-    cannot poison its chunk-mates.
+    Mirrors the single-job ``_execute_payload`` semantics per job
+    through the shared :func:`run_entry` path: faults come from the
+    payload's captured plan (not the worker's environment), and any
+    exception -- injected or real -- is isolated to its job's outcome
+    so one bad job cannot poison its chunk-mates.
     """
     base_flat = flatten(payload["base"])
     plan = plan_from_env(payload.get("faults", ""))
     cache_dir = payload.get("cache_dir")
     every = int(payload.get("checkpoint_every", 0) or 0)
-    outcomes: List[Dict[str, Any]] = []
-    for entry in payload["jobs"]:
-        start = time.perf_counter()  # repro-lint: disable=R002
-        info: Dict[str, Any] = {}
-        try:
-            spec = JobSpec.from_dict(apply_delta(base_flat,
-                                                 entry["delta"]))
-            if plan is not None:
-                fingerprint = spec.fingerprint()
-                plan.maybe_crash(fingerprint, entry["attempt"])
-                plan.maybe_hang(fingerprint, entry["attempt"])
-            workload = _arena_workload(entry.get("arena"))
-            if cache_dir:
-                from repro.run import checkpoint as ckpt
-                store = ckpt.CheckpointStore.for_job(
-                    cache_dir, spec.fingerprint()) if every > 0 else None
-                result, info = ckpt.run_spec(
-                    spec, workload=workload, store=store, every=every,
-                    faults=plan, attempt=entry["attempt"],
-                    triage_dir=cache_dir)
-            else:
-                result = spec.run(workload=workload)
-        except Exception as exc:  # noqa: BLE001 -- per-job isolation
-            outcomes.append({
-                "ok": False,
-                "error": f"{type(exc).__name__}: {exc}",
-                "elapsed": time.perf_counter() - start,  # repro-lint: disable=R002
-                "bundle": getattr(exc, "__triage_bundle__", ""),
-                "start_offset": getattr(exc, "__resumed_from__", 0),
-            })
-        else:
-            outcomes.append({
-                "ok": True,
-                "result": result.to_dict(),
-                "elapsed": time.perf_counter() - start,  # repro-lint: disable=R002
-                "ckpt_s": float(info.get("ckpt_s", 0.0)),
-                "resumed_from": int(info.get("resumed_from", 0)),
-            })
-    return outcomes
+    return [run_entry(apply_delta(base_flat, entry["delta"]),
+                      entry["attempt"], entry.get("arena"), plan,
+                      cache_dir, every)
+            for entry in payload["jobs"]]
 
 
 def _arena_workload(path: Optional[str]):

@@ -1,0 +1,301 @@
+"""Retention GC for cache-adjacent artifacts: plan first, then apply.
+
+Long sweep campaigns accrete four kinds of disk debris under the result
+cache: per-job **checkpoint** directories (``checkpoints/<fp>/``),
+crash-**triage** bundles (``triage/<fp12>-aN/``), shared trace
+**arenas** (``traces/*.arena``), and **quarantined** corrupt cache
+entries (``quarantine/*.json``).  Results themselves are never touched
+-- they are the product; everything here is recoverable scaffolding.
+
+``repro gc`` builds a :class:`GcPlan` from per-category
+:class:`RetentionRule` caps (age, count, total bytes -- applied in that
+order, evicting oldest first) and only deletes when asked
+(``--dry-run`` is the default posture in CI).  The plan is
+**manifest-aware**: artifacts belonging to jobs the sweep manifest
+still considers in flight (``pending``/``running``/``retrying``) are
+*pinned* -- reported, counted against the caps, but never evicted --
+so a GC run concurrent with (or between resumes of) a sweep cannot eat
+the checkpoint a job is about to resume from or the bundle of a crash
+that has not been triaged.
+
+Determinism note: the only clock here is host housekeeping time
+(:func:`repro.run.cache.time_now`); nothing simulated ever reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.run.cache import time_now
+
+#: Seconds per day, for readable rule declarations.
+_DAY = 86400.0
+
+#: Manifest statuses that pin a job's artifacts against eviction.
+PINNED_STATUSES = ("pending", "running", "retrying")
+
+
+@dataclass(frozen=True)
+class RetentionRule:
+    """Retention caps for one artifact category (``None`` = uncapped).
+
+    Applied in order: items older than ``max_age_s`` are evicted first;
+    then the oldest items beyond ``max_count``; then the oldest items
+    until the category fits ``max_bytes``.
+    """
+
+    max_age_s: Optional[float] = None
+    max_count: Optional[int] = None
+    max_bytes: Optional[int] = None
+
+
+#: Default retention policy per category.  Checkpoints and arenas are
+#: cheap to regenerate, so age alone bounds them; triage bundles and
+#: quarantined entries are evidence, so a count cap keeps the newest.
+DEFAULT_RULES: Dict[str, RetentionRule] = {
+    "checkpoints": RetentionRule(max_age_s=7 * _DAY),
+    "triage": RetentionRule(max_age_s=7 * _DAY, max_count=50),
+    "arenas": RetentionRule(max_age_s=7 * _DAY,
+                            max_bytes=2 * 1024 * 1024 * 1024),
+    "quarantine": RetentionRule(max_age_s=7 * _DAY, max_count=200),
+}
+
+
+@dataclass
+class GcItem:
+    """One evictable artifact (a directory tree or single file)."""
+
+    category: str
+    path: Path
+    mtime: float
+    bytes: int
+    pinned: bool = False
+    pin_reason: str = ""
+    evict: bool = False
+    evict_reason: str = ""
+
+    def age_s(self, now: float) -> float:
+        return max(0.0, now - self.mtime)
+
+
+@dataclass
+class GcPlan:
+    """A fully-decided eviction plan; inspect, print, then apply."""
+
+    now: float
+    items: List[GcItem] = field(default_factory=list)
+
+    @property
+    def evictions(self) -> List[GcItem]:
+        return [item for item in self.items if item.evict]
+
+    @property
+    def pinned(self) -> List[GcItem]:
+        return [item for item in self.items if item.pinned]
+
+    def freed_bytes(self) -> int:
+        return sum(item.bytes for item in self.evictions)
+
+    def format_plan(self, verbose: bool = False) -> str:
+        """Human summary; ``verbose`` lists every planned eviction."""
+        by_cat: Dict[str, Tuple[int, int, int]] = {}
+        for item in self.items:
+            kept, gone, freed = by_cat.get(item.category, (0, 0, 0))
+            if item.evict:
+                by_cat[item.category] = (kept, gone + 1,
+                                         freed + item.bytes)
+            else:
+                by_cat[item.category] = (kept + 1, gone, freed)
+        lines = [f"gc plan: {len(self.evictions)} evictions, "
+                 f"{_human_bytes(self.freed_bytes())} reclaimable, "
+                 f"{len(self.pinned)} pinned"]
+        for category in sorted(by_cat):
+            kept, gone, freed = by_cat[category]
+            lines.append(f"  {category:<12s} keep {kept:>4d}  "
+                         f"evict {gone:>4d}  ({_human_bytes(freed)})")
+        if verbose:
+            for item in self.evictions:
+                lines.append(
+                    f"  rm {item.path}  [{item.evict_reason}, "
+                    f"{item.age_s(self.now) / _DAY:.1f}d, "
+                    f"{_human_bytes(item.bytes)}]")
+            for item in self.pinned:
+                lines.append(f"  pin {item.path}  [{item.pin_reason}]")
+        return "\n".join(lines)
+
+    def apply(self) -> Tuple[int, int]:
+        """Delete every planned eviction; ``(removed, freed bytes)``.
+
+        Best-effort per item: an undeletable path is skipped, the rest
+        of the plan still applies.
+        """
+        import shutil
+        removed = 0
+        freed = 0
+        for item in self.evictions:
+            try:
+                if item.path.is_dir():
+                    shutil.rmtree(item.path)
+                else:
+                    item.path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += item.bytes
+        return removed, freed
+
+
+def _human_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" \
+                else f"{int(value)} B"
+        value /= 1024.0
+    return f"{int(count)} B"
+
+
+def _tree_stat(path: Path) -> Tuple[float, int]:
+    """``(newest mtime, total bytes)`` over a file or directory tree.
+
+    The newest mtime anywhere in the tree is the item's age -- a
+    checkpoint directory whose latest snapshot is fresh must read as
+    fresh even if the directory inode itself is old.
+    """
+    try:
+        stat = path.stat()
+    except OSError:
+        return 0.0, 0
+    if not path.is_dir():
+        return stat.st_mtime, stat.st_size
+    newest = stat.st_mtime
+    total = 0
+    for child in sorted(path.rglob("*")):
+        try:
+            child_stat = child.stat()
+        except OSError:
+            continue
+        if child.is_file():
+            total += child_stat.st_size
+        newest = max(newest, child_stat.st_mtime)
+    return newest, total
+
+
+def _pinned_fingerprints(manifest) -> Tuple[set, set]:
+    """``(full fingerprints, fp12 prefixes)`` of in-flight jobs."""
+    full: set = set()
+    short: set = set()
+    if manifest is not None:
+        for fingerprint in sorted(manifest.records):
+            if manifest.records[fingerprint].status in PINNED_STATUSES:
+                full.add(fingerprint)
+                short.add(fingerprint[:12])
+    return full, short
+
+
+def collect_items(cache_dir: Union[str, Path],
+                  manifest=None) -> List[GcItem]:
+    """Inventory every GC-eligible artifact under ``cache_dir``."""
+    from repro.run import checkpoint as ckpt
+    from repro.run import triage
+    cache_dir = Path(cache_dir)
+    pinned_full, pinned_short = _pinned_fingerprints(manifest)
+    items: List[GcItem] = []
+
+    for directory in ckpt.job_checkpoint_dirs(cache_dir):
+        mtime, size = _tree_stat(directory)
+        pinned = directory.name in pinned_full
+        items.append(GcItem(
+            "checkpoints", directory, mtime, size, pinned=pinned,
+            pin_reason="job in flight" if pinned else ""))
+
+    for directory in triage.bundle_dirs(cache_dir):
+        mtime, size = _tree_stat(directory)
+        fp12 = directory.name.split("-a")[0]
+        pinned = fp12 in pinned_short
+        items.append(GcItem(
+            "triage", directory, mtime, size, pinned=pinned,
+            pin_reason="job in flight" if pinned else ""))
+
+    traces = cache_dir / "traces"
+    if traces.is_dir():
+        for arena in sorted(traces.glob("*.arena")):
+            mtime, size = _tree_stat(arena)
+            items.append(GcItem("arenas", arena, mtime, size))
+
+    quarantine = cache_dir / "quarantine"
+    if quarantine.is_dir():
+        for entry in sorted(quarantine.iterdir()):
+            mtime, size = _tree_stat(entry)
+            items.append(GcItem("quarantine", entry, mtime, size))
+
+    return items
+
+
+def plan_gc(cache_dir: Union[str, Path],
+            rules: Optional[Dict[str, RetentionRule]] = None,
+            manifest=None, now: Optional[float] = None) -> GcPlan:
+    """Decide what to evict under ``cache_dir``; nothing is deleted.
+
+    ``manifest`` (a :class:`~repro.run.manifest.SweepManifest`) enables
+    pinning; ``now`` overrides the housekeeping clock for tests.
+    """
+    if now is None:
+        now = time_now()
+    rules = rules if rules is not None else DEFAULT_RULES
+    plan = GcPlan(now=now, items=collect_items(cache_dir, manifest))
+    by_cat: Dict[str, List[GcItem]] = {}
+    for item in plan.items:
+        by_cat.setdefault(item.category, []).append(item)
+    for category, items in sorted(by_cat.items()):
+        rule = rules.get(category)
+        if rule is None:
+            continue
+        _apply_rule(items, rule, now)
+    return plan
+
+
+def _apply_rule(items: Sequence[GcItem], rule: RetentionRule,
+                now: float) -> None:
+    """Mark evictions for one category, oldest first.
+
+    Pinned items participate in the caps (they still occupy disk) but
+    are never marked.  Ties on mtime break on path for determinism.
+    """
+    ordered = sorted(items, key=lambda item: (item.mtime, str(item.path)))
+
+    def mark(item: GcItem, reason: str) -> None:
+        if not item.pinned and not item.evict:
+            item.evict = True
+            item.evict_reason = reason
+
+    if rule.max_age_s is not None:
+        for item in ordered:
+            if item.age_s(now) > rule.max_age_s:
+                mark(item, f"older than {rule.max_age_s / _DAY:.1f}d")
+
+    if rule.max_count is not None:
+        surviving = [item for item in ordered if not item.evict]
+        excess = len(surviving) - rule.max_count
+        for item in surviving:
+            if excess <= 0:
+                break
+            if not item.pinned:
+                mark(item, f"count cap {rule.max_count}")
+            # A pinned item still uses a slot, so the excess only
+            # shrinks when something actually goes.
+            if item.evict:
+                excess -= 1
+
+    if rule.max_bytes is not None:
+        surviving = [item for item in ordered if not item.evict]
+        total = sum(item.bytes for item in surviving)
+        for item in surviving:
+            if total <= rule.max_bytes:
+                break
+            if not item.pinned:
+                mark(item, f"size cap {_human_bytes(rule.max_bytes)}")
+            if item.evict:
+                total -= item.bytes

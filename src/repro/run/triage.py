@@ -58,6 +58,20 @@ def bundle_dir(cache_dir: Union[str, Path], fingerprint: str,
     return Path(cache_dir) / TRIAGE_DIR / f"{fingerprint[:12]}-a{attempt}"
 
 
+def bundle_dirs(cache_dir: Union[str, Path]) -> List[Path]:
+    """Every triage bundle directory under ``cache_dir``, sorted.
+
+    Bundle names are ``<fp12>-a<attempt>`` (see :func:`bundle_dir`);
+    ``repro gc`` matches the fingerprint prefix against the sweep
+    manifest to pin bundles of jobs still in flight.
+    """
+    root = Path(cache_dir) / TRIAGE_DIR
+    if not root.is_dir():
+        return []
+    return sorted(entry for entry in root.iterdir()
+                  if entry.is_dir() and "-a" in entry.name)
+
+
 def _stream_tails(machine: Machine) -> List[Dict[str, Any]]:
     """Per-process tails of the in-flight instruction window."""
     tails = []
