@@ -144,6 +144,21 @@ RULE_TABLE = (
         wait interruptible and observable.
         """)),
     Rule(
+        "R009",
+        "numpy import outside the batch backend's scan kernels",
+        "file",
+        _explain("""
+        numpy is an accelerator for the batch backend's round planner
+        (vectorized window classification in ``cpu/batch.py``) and
+        nothing else.  Importing it anywhere else in ``src/repro`` would
+        let array semantics (dtype promotion, float accumulation,
+        platform-dependent BLAS behaviour) creep into simulated state,
+        and would break the pure-python fallback the simulator
+        guarantees when numpy is absent.  The allowed modules are listed
+        in ``repro.check.lint.rules_file._NUMPY_SUFFIXES``; they must
+        guard the import with a ``try``/``except ImportError`` fallback.
+        """)),
+    Rule(
         "R010",
         "snapshot()/restore() misses a tick-path mutable attribute",
         "program",

@@ -1,4 +1,4 @@
-"""Single-file AST rules (R001-R007) and the pragma grammar.
+"""Single-file AST rules (R001-R009) and the pragma grammar.
 
 ``_FileLinter`` walks one module's AST and reports the per-file
 determinism rules; the whole-program contract passes live in
@@ -15,10 +15,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.check.lint.registry import RULES, LintViolation
 
-#: Files holding the fast backend's cycle loop (R007) and the function
+#: Files holding the fast backends' cycle loops (R007) and the function
 #: names the rule applies to inside them.
 _FAST_SUFFIXES = ("system/machine.py",)
-_FAST_FUNCS = ("_run_fast", "run_fast")
+_FAST_FUNCS = ("_run_fast", "run_fast", "_run_batch")
+
+#: The only modules allowed to import numpy (R009): the batch planner's
+#: vectorized scan kernels.  Everything else stays pure python so the
+#: simulator runs -- and certifies -- without the accelerator dep.
+_NUMPY_SUFFIXES = ("cpu/batch.py",)
 
 #: Modules whose loops are the simulator's per-instruction hot path
 #: (R006).  Matched by normalized path suffix.
@@ -124,6 +129,8 @@ class _FileLinter(ast.NodeVisitor):
         self._fast_file = any(normalized.endswith(suffix)
                               for suffix in _FAST_SUFFIXES)
         self._fabric_file = _FABRIC_FRAGMENT in normalized
+        self._numpy_ok = any(normalized.endswith(suffix)
+                             for suffix in _NUMPY_SUFFIXES)
         self._func_stack: List[str] = []
         self._loop_depth = 0
 
@@ -194,6 +201,7 @@ class _FileLinter(ast.NodeVisitor):
                 self._random_aliases.add(name)
             if alias.name in _WALL_CLOCK:
                 self._time_aliases[name] = alias.name
+            self._check_numpy_import(node, alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -206,7 +214,20 @@ class _FileLinter(ast.NodeVisitor):
                 self._wall_funcs[bound] = node.module
             if node.module == "datetime" and alias.name == "datetime":
                 self._time_aliases[bound] = "datetime"
+        if node.module:
+            self._check_numpy_import(node, node.module)
         self.generic_visit(node)
+
+    def _check_numpy_import(self, node: ast.AST, module: str) -> None:
+        """R009: numpy stays confined to the batch scan kernels."""
+        if not self._numpy_ok and \
+                (module == "numpy" or module.startswith("numpy.")):
+            self._report(
+                node, "R009",
+                f"import of {module} outside the batch backend's scan "
+                f"kernels ({', '.join(_NUMPY_SUFFIXES)}) -- array "
+                f"semantics must not reach simulated state, and the "
+                f"pure-python fallback must keep working")
 
     # -- R001 / R002: calls ----------------------------------------------------
 

@@ -380,7 +380,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="materialize + replay a trace arena and "
                               "report speedup and byte-identity")
     profile.add_argument("--backend", default="reference",
-                         choices=["reference", "fast"],
+                         choices=["reference", "fast", "batch"],
                          help="execution backend to profile "
                               "(default: reference)")
     profile.add_argument("--compare-backends", action="store_true",

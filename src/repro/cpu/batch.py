@@ -1,0 +1,352 @@
+"""Round planner for the batch execution backend.
+
+``Machine._run_batch`` extends the certified-skip loop with *rounds*:
+spans of cycles over which a set of cores (the *span*) is ticked densely
+with per-round batched statistics and no per-cycle next-event or
+certification bookkeeping.  This module decides when a round is worth
+attempting and how long it may run.
+
+A core joins a span when everything it can touch during the round
+classifies as *hot* against a read-only mirror of its node's tag state
+(:meth:`~repro.mem.memsys.NodeMemorySystem.hot_tag_state`):
+
+* every instruction already in its window is a plain INT/FP/LOAD/STORE/
+  BRANCH op, loads that have not yet reached the memory stage and all
+  stores target TLB-resident pages with known frames and L1D-resident
+  (for stores: writable) lines, and the store buffer holds no barriers
+  and no unissued non-hot stores;
+* the next ``MAX_ROUND * issue_width`` upcoming instructions pass the
+  same test, with each instruction's I-line resident in the L1I.  The
+  scan is zero-copy and vectorized (numpy over the arena's
+  struct-of-arrays views) when the stream is arena-backed, and falls
+  back to a pure-python walk of the views, or -- for generator-backed
+  streams -- to non-consuming :meth:`~repro.cpu.core.TraceBuffer.peek`
+  lookahead.
+
+The first non-hot instruction at relative index ``g`` caps the core's
+round contribution at ``g // issue_width`` cycles (fetch brings in at
+most ``issue_width`` instructions per cycle, so the obstacle stays
+outside the pipeline for at least that long).  The round length is the
+minimum cap over span cores, further limited by sleeping cores' wake
+times and idle cpus' scheduler wakes so non-span cores cannot have any
+event inside the round.
+
+Classification is deliberately a *performance heuristic only*: in-round
+execution uses the ordinary access paths, so a stale or wrong hot set
+produces a real (faithfully simulated) miss which poisons the round --
+never an incorrect result.  That is also why the mirror can be built
+once per plan attempt without invalidation tracking.
+
+Eligibility is restricted to configurations where dense ticking is
+provably identical to the reference grid walk: release consistency
+(loads are always performable, so queue re-polls at extra cycles are
+traceless and speculative-load rollbacks cannot occur; the RC store
+buffer never issues consistency prefetches), out-of-order issue, and no
+SMT (per-cycle shared pipeline pools assume one tick per core per
+cycle).
+
+numpy is optional here and forbidden everywhere else in the simulator
+(lint rule R009): the reference path stays dependency-free, and without
+numpy this module degrades to the pure-python scans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is baked into CI images
+    np = None
+
+from repro.cpu.core import ST_MEMACC, ProcessorCore
+from repro.params import ConsistencyModel, SystemParams
+from repro.trace.arena import ArenaStream
+from repro.trace.instr import OP_BRANCH, OP_LOAD, OP_STORE
+
+#: Hard cap on round length, in cycles.  Also sizes the lookahead scan
+#: (``MAX_ROUND * issue_width`` instructions).
+MAX_ROUND = 64
+
+#: Rounds shorter than this are not worth the planning scan.
+MIN_ROUND = 8
+
+#: Cycles to wait before re-planning after a failed attempt or a
+#: poisoned round (the obstacle usually needs a few grid steps to clear).
+PLAN_BACKOFF = 24
+
+
+def make_planner(machine) -> Optional["BatchPlanner"]:
+    """A planner for ``machine``, or ``None`` when the configuration is
+    outside the dense-ticking identity envelope (see module docstring)."""
+    params: SystemParams = machine.params
+    if params.consistency is not ConsistencyModel.RC:
+        return None
+    if not params.processor.out_of_order:
+        return None
+    if params.processor.smt_contexts > 1:
+        return None
+    for core in machine.cores:
+        if type(core) is not ProcessorCore:
+            return None
+    return BatchPlanner(machine)
+
+
+class BatchPlanner:
+    """Plans dense rounds for one machine (see module docstring)."""
+
+    def __init__(self, machine):
+        self.cores: List[Tuple[int, object]] = list(enumerate(machine.cores))
+        params: SystemParams = machine.params
+        self.width = params.processor.issue_width
+        self.depth = MAX_ROUND * self.width
+        self.page_shift = machine.page_table.page_shift
+        self.line_shift = machine.nodes[0].line_shift
+        self.lpp = params.page_size >> self.line_shift
+        self.perfect_icache = params.perfect_icache
+        self.perfect_dcache = params.perfect_dcache
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, now: int, wake, quiet, sched_wake, limit: int):
+        """A ``(round_end, span)`` pair, or ``None``.
+
+        ``span`` is the list of ``(cpu, core)`` to dense-tick for every
+        cycle in ``[now, round_end]``; callers guarantee no other core
+        has an event in that window.  ``wake``/``quiet``/``sched_wake``
+        are the fast loop's per-cpu event state; ``limit`` caps the
+        length (the machine uses it to keep the instruction target
+        outside the round).
+        """
+        span = []
+        length = limit if limit < MAX_ROUND else MAX_ROUND
+        for cpu, core in self.cores:
+            if core.process is None:
+                w = sched_wake[cpu]
+                if w is not None:
+                    gap = w - now
+                    if gap <= 0:
+                        return None  # a seat is due right now
+                    if gap < length:
+                        length = gap
+                continue
+            if core.syscall_retired or core._rollback_to is not None:
+                return None
+            asleep = quiet[cpu] and wake[cpu] > now
+            if asleep and wake[cpu] - now >= MIN_ROUND:
+                # Deep sleeper: skipping it is already free; just keep
+                # the round clear of its certified wake.
+                gap = wake[cpu] - now
+                if gap < length:
+                    length = gap
+                continue
+            cap = self._classify(core)
+            if cap >= MIN_ROUND:
+                if cap < length:
+                    length = cap
+                span.append((cpu, core))
+            elif asleep:
+                gap = wake[cpu] - now
+                if gap < length:
+                    length = gap
+            else:
+                return None  # an awake core is about to leave the hot path
+            if length < MIN_ROUND:
+                return None
+        if not span or length < MIN_ROUND:
+            return None
+        return now + length - 1, span
+
+    def _classify(self, core) -> int:
+        """Hot-run length of ``core`` in cycles (0: not clean at all)."""
+        hot = core.memsys.hot_tag_state()
+        if not self._entries_clean(core, hot):
+            return 0
+        return self._scan_ahead(core, hot) // self.width
+
+    # -- hot predicates ----------------------------------------------------
+
+    def _data_hot(self, addr: int, hot: dict, is_store: bool) -> bool:
+        """Would a data access to ``addr`` hit without any table refill?
+
+        Requires a resident TLB entry and an already-allocated frame
+        even under a perfect D-cache: translation happens first on the
+        real path, and the planner must never pre-walk the page table
+        (``frame_of`` allocates on first touch).
+        """
+        vpage = addr >> self.page_shift
+        dpages = hot["dpages"]
+        if dpages is not None and vpage not in dpages:
+            return False
+        frame = hot["frames"].get(vpage)
+        if frame is None:
+            return False
+        if self.perfect_dcache:
+            return True
+        line = frame * self.lpp + ((addr >> self.line_shift) &
+                                   (self.lpp - 1))
+        if line not in hot["l1d"]:
+            return False
+        return not is_store or line in hot["writable"]
+
+    def _instr_hot(self, pc: int, hot: dict) -> bool:
+        """L1I residency of ``pc``'s line (not called when the I-cache
+        is perfect: that path returns before translating)."""
+        vpage = pc >> self.page_shift
+        ipages = hot["ipages"]
+        if ipages is not None and vpage not in ipages:
+            return False
+        frame = hot["frames"].get(vpage)
+        if frame is None:
+            return False
+        line = frame * self.lpp + ((pc >> self.line_shift) &
+                                   (self.lpp - 1))
+        return line in hot["l1i"]
+
+    def _entries_clean(self, core, hot: dict) -> bool:
+        """Nothing already in flight can leave the hot path: no barrier
+        or unissued non-hot store in the store buffer, no op beyond
+        BRANCH in the window, and every load still headed for the memory
+        stage (and every store, which performs from the store buffer
+        after retiring) targets a hot line."""
+        for buffered in core.storebuf._entries:
+            if buffered.is_barrier:
+                return False
+            if not buffered.issued and \
+                    not self._data_hot(buffered.addr, hot, True):
+                return False
+        for entry in core._window:
+            ins = entry.instr
+            op = ins.op
+            if op > OP_BRANCH:
+                return False
+            if op == OP_LOAD:
+                if entry.state < ST_MEMACC and \
+                        not self._data_hot(ins.addr, hot, False):
+                    return False
+            elif op == OP_STORE:
+                if not self._data_hot(ins.addr, hot, True):
+                    return False
+        return True
+
+    # -- lookahead scans ---------------------------------------------------
+
+    def _scan_ahead(self, core, hot: dict) -> int:
+        """Relative index of the first upcoming non-hot instruction
+        (capped at ``self.depth``), counting from the fetch point."""
+        trace = core._trace
+        seq = core._next_seq
+        source = trace._source
+        if isinstance(source, ArenaStream):
+            i0 = source.base + seq
+            i1 = i0 + self.depth
+            if i1 > source.end:
+                i1 = source.end
+            if i1 <= i0:
+                return 0
+            if np is not None:
+                return self._scan_views_np(source.arena, i0, i1, hot)
+            return self._scan_views_py(source.arena, i0, i1, hot)
+        return self._scan_peek(trace, seq, hot)
+
+    def _scan_peek(self, trace, seq: int, hot: dict) -> int:
+        """Generator-backed fallback: non-consuming peek lookahead."""
+        for k in range(self.depth):
+            ins = trace.peek(seq + k)
+            if ins is None:
+                return k  # stream ends: the exhaustion raise is an event
+            op = ins.op
+            if op > OP_BRANCH:
+                return k
+            if not self.perfect_icache and not self._instr_hot(ins.pc, hot):
+                return k
+            if op == OP_LOAD:
+                if not self._data_hot(ins.addr, hot, False):
+                    return k
+            elif op == OP_STORE:
+                if not self._data_hot(ins.addr, hot, True):
+                    return k
+        return self.depth
+
+    def _scan_views_py(self, arena, i0: int, i1: int, hot: dict) -> int:
+        """Arena-backed scan without numpy: walk the raw views."""
+        ops = arena._op
+        pcs = arena._pc
+        addrs = arena._addr
+        for k in range(i1 - i0):
+            i = i0 + k
+            op = ops[i]
+            if op > OP_BRANCH:
+                return k
+            if not self.perfect_icache and not self._instr_hot(pcs[i], hot):
+                return k
+            if op == OP_LOAD:
+                if not self._data_hot(addrs[i], hot, False):
+                    return k
+            elif op == OP_STORE:
+                if not self._data_hot(addrs[i], hot, True):
+                    return k
+        return i1 - i0
+
+    def _scan_views_np(self, arena, i0: int, i1: int, hot: dict) -> int:
+        """Vectorized arena scan: struct-of-arrays slices straight off
+        the mapped file, hot-set membership via ``np.isin``."""
+        ops = np.frombuffer(arena._op, dtype=np.uint8)[i0:i1]
+        bad = ops > OP_BRANCH
+        if not self.perfect_icache:
+            pcs = np.frombuffer(arena._pc, dtype=np.uint64)[i0:i1]
+            bad |= ~self._lines_hot_np(pcs, hot["ipages"], hot["l1i"],
+                                       None, hot)[0]
+        loads = ops == OP_LOAD
+        stores = ops == OP_STORE
+        if loads.any() or stores.any():
+            addrs = np.frombuffer(arena._addr, dtype=np.uint64)[i0:i1]
+            load_ok, store_ok = self._lines_hot_np(
+                addrs, hot["dpages"], hot["l1d"], hot["writable"], hot)
+            bad |= loads & ~load_ok
+            bad |= stores & ~store_ok
+        first = np.flatnonzero(bad)
+        if first.size:
+            return int(first[0])
+        return i1 - i0
+
+    def _lines_hot_np(self, vaddrs, pages, resident, writable, hot):
+        """(hot, hot-and-writable) masks for a u64 address vector.
+
+        Page translation goes through python once per *unique* page
+        (dict lookups against the live page table), then broadcasts;
+        line membership is one ``np.isin`` against the mirrored set.
+        ``writable=None`` skips the second mask (instruction side).
+        """
+        shift = np.uint64(self.page_shift)
+        uniq, inv = np.unique(vaddrs >> shift, return_inverse=True)
+        n = uniq.shape[0]
+        frames_u = np.zeros(n, dtype=np.int64)
+        ok_u = np.zeros(n, dtype=bool)
+        get = hot["frames"].get
+        for j in range(n):
+            vpage = int(uniq[j])
+            if pages is not None and vpage not in pages:
+                continue
+            frame = get(vpage)
+            if frame is None:
+                continue
+            frames_u[j] = frame
+            ok_u[j] = True
+        ok = ok_u[inv]
+        if writable is not None and self.perfect_dcache:
+            return ok, ok
+        offsets = ((vaddrs >> np.uint64(self.line_shift)) &
+                   np.uint64(self.lpp - 1)).astype(np.int64)
+        lines = frames_u[inv] * self.lpp + offsets
+        hot_mask = ok & np.isin(lines, _as_array(resident))
+        if writable is None:
+            return hot_mask, hot_mask
+        return hot_mask, hot_mask & np.isin(lines, _as_array(writable))
+
+
+def _as_array(lines: set):
+    """A set of line numbers as an int64 array (np.isin operand)."""
+    if not lines:
+        return np.empty(0, dtype=np.int64)
+    return np.fromiter(lines, dtype=np.int64, count=len(lines))

@@ -206,12 +206,15 @@ class SystemParams:
     watchdog_node_cycles: int = 0           # same, per node with a runnable
                                             # process (0 = off)
     backend: str = "reference"              # main-loop implementation:
-                                            # "reference" (uniform grid) or
+                                            # "reference" (uniform grid),
                                             # "fast" (certified tick
-                                            # skipping); results are
-                                            # byte-identical, so this is
-                                            # ephemeral like `check` and
-                                            # excluded from fingerprints
+                                            # skipping), or "batch" (fast
+                                            # plus dense hot-window rounds
+                                            # with bulk stat retirement);
+                                            # results are byte-identical,
+                                            # so this is ephemeral like
+                                            # `check` and excluded from
+                                            # fingerprints
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -220,9 +223,9 @@ class SystemParams:
             raise ValueError("n_nodes must be a multiple of mesh_width")
         if self.l1i.line_size != self.l2.line_size and self.stream_buffer_entries:
             raise ValueError("stream buffer requires matching L1I/L2 line sizes")
-        if self.backend not in ("reference", "fast"):
+        if self.backend not in ("reference", "fast", "batch"):
             raise ValueError(
-                f"backend must be 'reference' or 'fast', got "
+                f"backend must be 'reference', 'fast' or 'batch', got "
                 f"{self.backend!r}")
 
     @property

@@ -208,40 +208,55 @@ def profile_run(kind: str = "oltp",
     return report
 
 
+#: Backends profiled by ``--compare-backends``, reference first (it is
+#: the baseline every speedup is computed against).
+_BACKENDS = ("reference", "fast", "batch")
+
+
 def _compare_backends(spec: JobSpec) -> Dict[str, Any]:
-    """Profile the job under both backends; per-subsystem speedups and a
+    """Profile the job under every backend; per-subsystem speedups and a
     byte-identity verdict (the CLI exits nonzero on divergence)."""
     import dataclasses
 
     runs: Dict[str, Any] = {}
-    for backend in ("reference", "fast"):
+    for backend in _BACKENDS:
         bspec = dataclasses.replace(
             spec, params=spec.params.replace(backend=backend))
         result, wall_s, by_subsystem, _functions = _profile_once(bspec)
-        runs[backend] = (result, wall_s, by_subsystem)
+        runs[backend] = (result.to_dict(), wall_s, by_subsystem)
 
-    ref_result, ref_wall, ref_sub = runs["reference"]
-    fast_result, fast_wall, fast_sub = runs["fast"]
-    names = sorted(set(ref_sub) | set(fast_sub),
-                   key=lambda n: ref_sub.get(n, 0.0), reverse=True)
+    ref_dict, ref_wall, ref_sub = runs["reference"]
+    names = sorted(
+        {name for _d, _w, sub in runs.values() for name in sub},
+        key=lambda n: ref_sub.get(n, 0.0), reverse=True)
     subsystems = []
     for name in names:
         ref_s = ref_sub.get(name, 0.0)
-        fast_s = fast_sub.get(name, 0.0)
-        subsystems.append({
-            "name": name,
-            "reference_s": round(ref_s, 4),
-            "fast_s": round(fast_s, 4),
-            "speedup": round(ref_s / fast_s, 2) if fast_s > 1e-9
-            else None,
-        })
-    return {
+        row: Dict[str, Any] = {"name": name,
+                               "reference_s": round(ref_s, 4)}
+        for backend in _BACKENDS[1:]:
+            b_s = runs[backend][2].get(name, 0.0)
+            row[f"{backend}_s"] = round(b_s, 4)
+            row[f"{backend}_speedup"] = \
+                round(ref_s / b_s, 2) if b_s > 1e-9 else None
+        # Historical aliases: fast was the first alternative backend and
+        # downstream tooling reads these keys.
+        row["speedup"] = row["fast_speedup"]
+        subsystems.append(row)
+    report: Dict[str, Any] = {
         "reference_wall_s": round(ref_wall, 4),
-        "fast_wall_s": round(fast_wall, 4),
-        "speedup": round(ref_wall / fast_wall, 2) if fast_wall else 0.0,
-        "identical": ref_result.to_dict() == fast_result.to_dict(),
         "subsystems": subsystems,
     }
+    for backend in _BACKENDS[1:]:
+        b_dict, b_wall, _sub = runs[backend]
+        report[f"{backend}_wall_s"] = round(b_wall, 4)
+        report[f"{backend}_speedup"] = \
+            round(ref_wall / b_wall, 2) if b_wall else 0.0
+        report[f"{backend}_identical"] = b_dict == ref_dict
+    report["speedup"] = report["fast_speedup"]
+    report["identical"] = all(
+        report[f"{backend}_identical"] for backend in _BACKENDS[1:])
+    return report
 
 
 def _compare_arena(spec: JobSpec, generator_result,
@@ -325,15 +340,21 @@ def format_report(report: Dict[str, Any]) -> str:
             f"backend cross-check: reference "
             f"{backends['reference_wall_s']:.2f}s vs fast "
             f"{backends['fast_wall_s']:.2f}s "
-            f"({backends['speedup']:.2f}x), results {verdict}")
+            f"({backends['fast_speedup']:.2f}x) vs batch "
+            f"{backends['batch_wall_s']:.2f}s "
+            f"({backends['batch_speedup']:.2f}x), results {verdict}")
         lines.append("  per-subsystem exclusive time "
-                     "(reference -> fast):")
+                     "(reference -> fast -> batch):")
         for sub in backends["subsystems"]:
-            if sub["reference_s"] < 0.001 and sub["fast_s"] < 0.001:
+            if sub["reference_s"] < 0.001 and sub["fast_s"] < 0.001 \
+                    and sub["batch_s"] < 0.001:
                 continue
-            speedup = "   n/a" if sub["speedup"] is None \
-                else f"{sub['speedup']:>5.2f}x"
+            fast_x = "   n/a" if sub["fast_speedup"] is None \
+                else f"{sub['fast_speedup']:>5.2f}x"
+            batch_x = "   n/a" if sub["batch_speedup"] is None \
+                else f"{sub['batch_speedup']:>5.2f}x"
             lines.append(f"  {sub['name']:<10s} "
                          f"{sub['reference_s']:>8.3f}s -> "
-                         f"{sub['fast_s']:>8.3f}s  {speedup}")
+                         f"{sub['fast_s']:>8.3f}s {fast_x} -> "
+                         f"{sub['batch_s']:>8.3f}s {batch_x}")
     return "\n".join(lines)

@@ -15,6 +15,7 @@ the simulation cost.
 from __future__ import annotations
 
 import copy
+import warnings
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.cpu.core import (
@@ -24,6 +25,7 @@ from repro.cpu.core import (
     ProcessorCore,
     WindowEntry,
 )
+from repro.cpu.batch import MIN_ROUND, PLAN_BACKOFF, make_planner
 from repro.cpu.smt import SmtCore
 from repro.mem.coherence import CoherentMemory
 from repro.mem.interconnect import MeshNetwork
@@ -47,6 +49,22 @@ LIVELOCK_TRANSFERS = 8
 
 class DeadlockError(RuntimeError):
     """The simulation cannot make progress (indicates a modelling bug)."""
+
+
+#: Backends already warned about falling back to the reference loop under
+#: an attached checker (one warning per backend per interpreter).
+_warned_checker_fallback: set = set()
+
+
+def _warn_checker_fallback(backend: str) -> None:
+    if backend in _warned_checker_fallback:
+        return
+    _warned_checker_fallback.add(backend)
+    warnings.warn(
+        f"params.backend == {backend!r} but the invariant checker is "
+        f"attached; running the reference loop instead (the checker's "
+        f"wrappers require every core to be polled each grid cycle)",
+        RuntimeWarning, stacklevel=3)
 
 
 class WedgeError(RuntimeError):
@@ -122,6 +140,10 @@ class Machine:
         self.now = 0
         self.idle_cycles = 0
         self._measure_started_at = 0
+        # The loop implementation the last run() actually used ("reference"
+        # when a checker forces the reference path); recorded in result
+        # payloads so fallbacks are visible.
+        self.effective_backend = "reference"
 
         # Opt-in runtime sanitizer (repro.check).  Attached last so it
         # wraps fully-constructed components; with ``check`` off nothing
@@ -163,13 +185,25 @@ class Machine:
         Returns the number of cycles elapsed during this call.
 
         With ``params.backend == "fast"`` the certified-skip loop
-        (:meth:`_run_fast`) is used instead of the uniform grid walk; it
-        produces byte-identical state and statistics.  Sanitized runs
+        (:meth:`_run_fast`) is used instead of the uniform grid walk, and
+        with ``"batch"`` the dense-round variant (:meth:`_run_batch`);
+        both produce byte-identical state and statistics.  Sanitized runs
         (``params.check``) always take the reference path: the invariant
         checker's wrappers assume every core is polled every grid cycle.
+        A forced fallback is announced once per backend and recorded in
+        ``effective_backend``.
         """
-        if self.params.backend == "fast" and self.checker is None:
-            return self._run_fast(instructions, max_cycles)
+        backend = self.params.backend
+        if self.checker is None:
+            self.effective_backend = backend
+            if backend == "fast":
+                return self._run_fast(instructions, max_cycles)
+            if backend == "batch":
+                return self._run_batch(instructions, max_cycles)
+        else:
+            self.effective_backend = "reference"
+            if backend != "reference":
+                _warn_checker_fallback(backend)
         target = self.total_retired() + instructions
         start_cycle = self.now
         deadline = self.now + max_cycles
@@ -373,6 +407,203 @@ class Machine:
         # The reference loop ticks every core at every grid point, so at
         # exit each core's accounting extends through the last one; bring
         # skipped cores up to it so snapshots are byte-identical.
+        if last_step >= 0:
+            for core in cores:
+                core.settle(last_step)
+        return now - start_cycle
+
+    def _run_batch(self, instructions: int, max_cycles: int) -> int:
+        """Dense-round main loop (``SystemParams.backend == "batch"``).
+
+        The certified-skip loop of :meth:`_run_fast`, augmented with
+        *rounds* planned by :mod:`repro.cpu.batch`: spans of cycles over
+        which every active core's window, store buffer, and upcoming
+        instructions classify as resident and hazard-free against a
+        mirrored copy of the cache/TLB tag state.  Inside a round the
+        span cores are ticked densely every cycle
+        (:meth:`~repro.cpu.core.ProcessorCore.tick_span`) with
+        retirement statistics batched per round -- no per-cycle
+        next-event computation, wake certification, or grid bookkeeping.
+
+        Identity argument, in two halves.  (1) Dense ticking: a tick at
+        a cycle the reference grid skipped is a no-op plus the exact
+        1.0-cycle stall charge that gap crediting attributes for that
+        cycle anyway, so extra ticks change nothing once accounting
+        settles.  (2) Classification independence: in-round memory
+        traffic flows through the ordinary access paths -- the planner's
+        hot sets are consulted only while *planning*, never while
+        executing -- so a misclassified round is merely slow, not wrong.
+        Any unpredicted event (a cache miss, a non-hot op at retire, a
+        syscall) poisons the round after its cycle completes faithfully,
+        and the loop falls back to certified skipping.  Rounds are also
+        capped so the instruction target cannot be crossed inside one,
+        keeping the exit grid walk (and the final ``self.now``) exact.
+
+        The planner declines ineligible configurations (non-RC
+        consistency, in-order cores, SMT) and watchdog-armed runs; the
+        loop then degrades to exactly :meth:`_run_fast`.
+        """
+        target = self.total_retired() + instructions
+        start_cycle = self.now
+        deadline = self.now + max_cycles
+        cores = self.cores
+        schedulers = self.schedulers
+        dispatch_if_idle = self._dispatch_if_idle
+        handle_syscall = self._handle_syscall
+        indexed_cores = list(enumerate(cores))
+        now = self.now
+        smt = self.params.processor.smt_contexts > 1
+        wake = [now] * len(cores)
+        quiet = [False] * len(cores)
+        retired_seen = [core.retired for core in cores]
+        sched_wake = [s.earliest_wake() for s in schedulers]
+        total_now = sum(retired_seen)
+        last_step = -1
+        wd_global = self.params.watchdog_cycles
+        wd_node = self.params.watchdog_node_cycles
+        wd_on = wd_global > 0 or wd_node > 0
+        if wd_on:
+            if self.memory._ping is None:
+                self.memory._ping = {}
+            ping = self.memory._ping
+            wd_total = total_now
+            wd_cycle = now
+            wd_node_retired = list(retired_seen)
+            wd_node_cycle = [now] * len(cores)
+        # Watchdog trip cycles are part of the observable contract, and
+        # rounds do not track per-cycle forward progress; armed runs
+        # simply never use rounds.
+        planner = None if wd_on else make_planner(self)
+        next_plan_at = now
+        # Failed plans back off exponentially: miss-dense phases (OLTP's
+        # steady state) would otherwise pay the hot-set mirroring cost
+        # every PLAN_BACKOFF cycles for nothing.  Backoff only delays
+        # *planning*, never ticking, so it cannot affect simulated state.
+        plan_backoff = PLAN_BACKOFF
+        max_retire = self.params.processor.issue_width * len(cores)
+        while True:
+            if total_now >= target:
+                break
+            if wd_on:
+                if total_now != wd_total:
+                    wd_total = total_now
+                    wd_cycle = now
+                    ping.clear()
+                elif wd_global and now - wd_cycle >= wd_global:
+                    raise self._classify_wedge(now, node=None)
+                if wd_node:
+                    for cpu, core in indexed_cores:
+                        r = retired_seen[cpu]
+                        if r != wd_node_retired[cpu] or core.process is None:
+                            wd_node_retired[cpu] = r
+                            wd_node_cycle[cpu] = now
+                        elif now - wd_node_cycle[cpu] >= wd_node:
+                            raise self._classify_wedge(now, node=cpu)
+            if now >= deadline:
+                raise DeadlockError(
+                    f"exceeded {max_cycles} cycles at "
+                    f"{self.total_retired()} retired instructions")
+            if planner is not None and now >= next_plan_at:
+                limit = (target - total_now - 1) // max_retire
+                if limit < MIN_ROUND:
+                    # Endgame: the remaining budget no longer fits a
+                    # round (and only shrinks); stop planning this run.
+                    next_plan_at = deadline
+                    plan = None
+                else:
+                    plan = planner.plan(now, wake, quiet, sched_wake,
+                                        limit)
+                if plan is None:
+                    if next_plan_at <= now:
+                        next_plan_at = now + plan_backoff
+                        plan_backoff = min(plan_backoff * 2, 1024)
+                else:
+                    round_end, span = plan
+                    poisoned = False
+                    try:
+                        while True:
+                            self.now = now
+                            last_step = now
+                            for cpu, core in span:
+                                if core.tick_span(now):
+                                    poisoned = True
+                                if core.syscall_retired:
+                                    handle_syscall(cpu)
+                                    poisoned = True
+                                r = core.retired
+                                if r != retired_seen[cpu]:
+                                    total_now += r - retired_seen[cpu]
+                                    retired_seen[cpu] = r
+                            done = poisoned or now >= round_end or \
+                                total_now >= target
+                            now += 1
+                            if done or now >= deadline:
+                                break
+                    finally:
+                        # Fold the batched statistics in and force every
+                        # span core due at the next grid cycle (a forced
+                        # tick of a core the grid would have skipped is
+                        # a certified no-op; see tick_span).
+                        for cpu, core in span:
+                            core.span_flush()
+                            wake[cpu] = now
+                            quiet[cpu] = False
+                            sched_wake[cpu] = \
+                                schedulers[cpu].earliest_wake()
+                    self.now = now
+                    plan_backoff = PLAN_BACKOFF
+                    next_plan_at = now + PLAN_BACKOFF if poisoned else now
+                    continue
+            last_step = now
+            next_time = FAR_FUTURE
+            for cpu, core in indexed_cores:
+                if quiet[cpu] and wake[cpu] > now:
+                    w = sched_wake[cpu]
+                    if w is None or w > now:
+                        seat = False
+                    elif smt:
+                        seat = core.free_slots() > 0
+                    else:
+                        seat = core.process is None
+                    if not seat:
+                        t = wake[cpu]
+                        if t < next_time:
+                            next_time = t
+                        continue
+                dispatch_if_idle(cpu)
+                t = core.tick_fast(now)
+                if core.syscall_retired:
+                    handle_syscall(cpu)
+                    t = now + 1
+                    quiet[cpu] = False
+                else:
+                    quiet[cpu] = core.tick_quiet
+                wake[cpu] = t
+                r = core.retired
+                if r != retired_seen[cpu]:
+                    total_now += r - retired_seen[cpu]
+                    retired_seen[cpu] = r
+                sched_wake[cpu] = schedulers[cpu].earliest_wake()
+                if t < next_time:
+                    next_time = t
+            for cpu, core in indexed_cores:
+                if core._rollback_to is None:
+                    continue
+                core.apply_pending_rollback(now)
+                quiet[cpu] = False  # squashed state invalidates the wake
+            # Idle CPUs wake when a blocked process becomes ready.
+            for cpu, core in indexed_cores:
+                if core.process is None:
+                    w = sched_wake[cpu]
+                    if w is not None:
+                        candidate = w if w > now else now + 1
+                        if candidate < next_time:
+                            next_time = candidate
+            if next_time >= FAR_FUTURE:
+                raise DeadlockError(
+                    f"no core can make progress at cycle {now}")
+            now = max(now + 1, next_time)
+            self.now = now
         if last_step >= 0:
             for core in cores:
                 core.settle(last_step)

@@ -1,0 +1,236 @@
+"""Certification tests for the batch execution backend.
+
+The batch backend (``SystemParams.backend == "batch"``) layers dense
+hot-window rounds with bulk stat retirement on top of the fast loop.
+Like the fast backend it carries no tolerance: every test here demands
+byte-identical results *and* byte-identical full machine snapshots
+against the reference grid loop, across workloads, processor shapes,
+consistency models, chunked runs, watchdog arming, arena-backed traces
+and checkpoint/resume -- including resuming a batch-taken checkpoint on
+the reference backend and vice versa.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.core.workloads import (dss_workload, oltp_workload,
+                                  tpcc_workload)
+from repro.params import ConsistencyImpl, ConsistencyModel
+from repro.run import checkpoint as ckpt
+from repro.run.checkpoint import state_digest
+from repro.run.jobs import JobSpec, WorkloadSpec
+from repro.system.machine import Machine
+
+from test_fastpath import BASE, build_machine, canon, one_run
+
+# ------------------------------------------------------------- identity
+
+
+def assert_batch_identical(params, workload_factory, instr=2500,
+                           warmup=1000, seed=0, chunks=None):
+    ref = one_run(params.replace(backend="reference"),
+                  workload_factory(), instr, warmup, seed, chunks)
+    batch = one_run(params.replace(backend="batch"),
+                    workload_factory(), instr, warmup, seed, chunks)
+    assert ref[0] == batch[0], "results diverged between backends"
+    assert ref[1] == batch[1], "snapshots diverged between backends"
+
+
+_SMT2 = BASE.replace(processor=dataclasses.replace(
+    BASE.processor, smt_contexts=2))
+_INORDER = BASE.replace(processor=dataclasses.replace(
+    BASE.processor, out_of_order=False))
+
+# The in-order / SMT / non-RC rows exercise the planner's eligibility
+# gate: ineligible machines must degrade to an exact fast-loop clone,
+# not to a wrong answer.
+MATRIX = [
+    ("oltp", BASE, oltp_workload, {}),
+    ("dss", BASE, dss_workload, {}),
+    ("tpcc", BASE, tpcc_workload, {}),
+    ("oltp-inorder", _INORDER, oltp_workload, {}),
+    ("oltp-smt2", _SMT2, oltp_workload, {}),
+    ("oltp-sc", BASE.replace(
+        consistency=ConsistencyModel.SC,
+        consistency_impl=ConsistencyImpl.STRAIGHTFORWARD),
+        oltp_workload, {}),
+    ("oltp-pc-prefetch", BASE.replace(
+        consistency=ConsistencyModel.PC,
+        consistency_impl=ConsistencyImpl.PREFETCH),
+        oltp_workload, {}),
+    ("oltp-rc-spec", BASE.replace(
+        consistency=ConsistencyModel.RC,
+        consistency_impl=ConsistencyImpl.SPECULATIVE),
+        oltp_workload, {}),
+    ("oltp-chunked", BASE, oltp_workload,
+     {"chunks": [800, 1700, 2500]}),
+    ("oltp-watchdog-armed", BASE.replace(
+        watchdog_cycles=200000, watchdog_node_cycles=150000),
+        oltp_workload, {}),
+]
+
+
+@pytest.mark.parametrize("name,params,workload,kw",
+                         MATRIX, ids=[m[0] for m in MATRIX])
+def test_batch_identity(name, params, workload, kw):
+    assert_batch_identical(params, workload, **kw)
+
+
+def test_batch_identity_on_arena_replay(tmp_path):
+    """Replaying a materialized arena (the zero-copy struct-of-arrays
+    feed the planner scans with numpy) is byte-identical to reference."""
+    from repro.trace import arena as trace_arena
+
+    spec = JobSpec(BASE, WorkloadSpec("oltp"),
+                   instructions=2500, warmup=1000, seed=0)
+    recorder = trace_arena.ArenaRecorder(
+        spec.workload.build(), spec.params.n_nodes, spec.seed,
+        spec.workload.to_dict(), spec.instructions + spec.warmup)
+    spec.run(workload=recorder.workload())
+    path = tmp_path / f"{recorder.key()}.arena"
+    assert recorder.write(path), "arena did not materialize"
+    handle = trace_arena.load_cached(path)
+    assert handle is not None
+    try:
+        results = {}
+        for backend in ("reference", "batch"):
+            bspec = dataclasses.replace(
+                spec, params=spec.params.replace(backend=backend))
+            results[backend] = bspec.run(workload=handle).to_dict()
+        assert results["reference"] == results["batch"], \
+            "arena-backed batch run diverged from reference"
+    finally:
+        trace_arena.forget(path)
+
+
+# ------------------------------------------- cross-backend checkpointing
+
+
+@pytest.mark.parametrize("take,resume", [("batch", "reference"),
+                                         ("reference", "batch")])
+def test_cross_backend_checkpoint_resume(take, resume):
+    """A checkpoint taken under one backend resumes under the other to a
+    byte-identical final state (checkpoints are backend-agnostic)."""
+    target = 3600
+    baseline = build_machine(BASE.replace(backend="reference"),
+                             oltp_workload())
+    baseline.run(target)
+
+    first = build_machine(BASE.replace(backend=take), oltp_workload())
+    first.run(1500)
+    payload = {"machine": first.snapshot(),
+               "trace_offsets": first.trace_consumed()}
+    resumed = ckpt._rebuild_machine(
+        BASE.replace(backend=resume), oltp_workload(), 0, payload)
+    assert resumed.total_retired() == first.total_retired()
+    resumed.run(target - resumed.total_retired())
+
+    assert state_digest(resumed) == state_digest(baseline)
+    assert resumed.now == baseline.now
+    assert canon(resumed.snapshot()) == canon(baseline.snapshot())
+
+
+def test_watchdog_trips_at_identical_cycle_under_batch():
+    """Armed watchdogs disable rounds entirely, so a wedged run trips at
+    the same cycle with the same classification as the reference loop."""
+    from repro.system.machine import WedgeError
+
+    params = BASE.replace(n_nodes=1, mesh_width=1, watchdog_cycles=40)
+    trips = {}
+    for backend in ("reference", "batch"):
+        m = build_machine(params.replace(backend=backend),
+                          oltp_workload())
+        with pytest.raises(WedgeError) as err:
+            m.run(4000)
+        trips[backend] = err.value.to_dict()
+    assert trips["reference"] == trips["batch"]
+
+
+# ----------------------------------------------------- backend gating
+
+
+def test_batch_backend_is_dispatched(monkeypatch):
+    calls = []
+    original = Machine._run_batch
+
+    def spy(self, instructions, max_cycles):
+        calls.append(instructions)
+        return original(self, instructions, max_cycles)
+    monkeypatch.setattr(Machine, "_run_batch", spy)
+    m = build_machine(BASE.replace(backend="batch"), oltp_workload())
+    m.run(300)
+    assert calls, "backend='batch' never reached _run_batch"
+    assert m.effective_backend == "batch"
+
+
+def test_sanitized_runs_decline_batch(monkeypatch):
+    """check=True keeps the reference loop and says so: the fallback is
+    warned about once and recorded in ``effective_backend``."""
+    import repro.system.machine as machine_mod
+
+    def boom(self, instructions, max_cycles):
+        raise AssertionError("batch path used under the sanitizer")
+    monkeypatch.setattr(Machine, "_run_batch", boom)
+    monkeypatch.setattr(machine_mod, "_warned_checker_fallback", set())
+    params = BASE.replace(backend="batch", check=True,
+                          n_nodes=1, mesh_width=1)
+    m = build_machine(params, oltp_workload())
+    with pytest.warns(RuntimeWarning, match="batch"):
+        m.run(300)
+    assert m.effective_backend == "reference"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second run must stay silent
+        m.run(300)
+
+
+def test_effective_backend_reaches_result_payload():
+    from repro.core.experiment import assemble_result
+
+    m = build_machine(BASE.replace(backend="batch"), oltp_workload())
+    cycles = m.run(500)
+    res = assemble_result(m, "oltp", cycles, 500)
+    assert res.effective_backend == "batch"
+    # Excluded from the serialized payload on purpose: certified-equal
+    # runs must share cache entries and compare equal.
+    assert "effective_backend" not in res.to_dict()
+
+
+def test_batch_backend_is_ephemeral_for_fingerprints():
+    ref = JobSpec(BASE.replace(backend="reference"),
+                  WorkloadSpec("oltp"), instructions=1000, warmup=0,
+                  seed=0)
+    batch = JobSpec(BASE.replace(backend="batch"),
+                    WorkloadSpec("oltp"), instructions=1000, warmup=0,
+                    seed=0)
+    assert ref.fingerprint() == batch.fingerprint()
+
+
+# ------------------------------------------------------ planner pieces
+
+
+def test_trace_buffer_peek_does_not_consume():
+    from repro.cpu.core import TraceBuffer
+
+    buf = TraceBuffer(iter(range(10, 15)))
+    assert buf.peek(3) == 13          # reads ahead through the source
+    assert buf.consumed == 0          # ...without consuming anything
+    assert buf.peek(9) is None        # past the end: deferred stop
+    assert [buf.get(i) for i in range(5)] == [10, 11, 12, 13, 14]
+    with pytest.raises(StopIteration):
+        buf.get(5)                    # the deferred stop re-raises
+
+
+def test_planner_declines_ineligible_machines():
+    from repro.cpu.batch import make_planner
+
+    eligible = build_machine(BASE, oltp_workload())
+    assert make_planner(eligible) is not None
+    for params in (_INORDER, _SMT2,
+                   BASE.replace(
+                       consistency=ConsistencyModel.SC,
+                       consistency_impl=ConsistencyImpl.STRAIGHTFORWARD)):
+        m = build_machine(params, oltp_workload())
+        assert make_planner(m) is None, \
+            f"planner accepted ineligible machine {params.consistency}"

@@ -248,7 +248,7 @@ class TestDriver:
 
     def test_rule_catalog(self):
         assert set(RULES) == {"R001", "R002", "R003", "R004", "R005",
-                              "R006", "R007", "R008",
+                              "R006", "R007", "R008", "R009",
                               "R010", "R011", "R012"}
 
 
@@ -358,3 +358,41 @@ class TestR007FastLoopLookups:
                "# repro-lint: disable=R007\n"
                "        break\n")
         assert self._codes(src, tmp_path=tmp_path) == []
+
+    def test_batch_loop_covered(self, tmp_path):
+        src = ("def _run_batch(self):\n"
+               "    while True:\n"
+               "        if now in self.pending:\n"
+               "            break\n")
+        assert self._codes(src, tmp_path=tmp_path) == ["R007"]
+
+
+class TestR009NumpyConfinement:
+    """numpy imports stay inside the batch backend's scan kernels."""
+
+    def _codes(self, source, name, tmp_path):
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        violations, _ = lint_paths([str(path)])
+        return [v.code for v in violations]
+
+    def test_import_outside_batch_flagged(self, tmp_path):
+        assert self._codes("import numpy as np\n",
+                           "cpu/core.py", tmp_path) == ["R009"]
+
+    def test_from_import_flagged(self, tmp_path):
+        assert self._codes("from numpy import frombuffer\n",
+                           "mem/cache.py", tmp_path) == ["R009"]
+
+    def test_submodule_import_flagged(self, tmp_path):
+        assert self._codes("import numpy.linalg\n",
+                           "stats/breakdown.py", tmp_path) == ["R009"]
+
+    def test_batch_module_exempt(self, tmp_path):
+        assert self._codes("import numpy as np\n",
+                           "cpu/batch.py", tmp_path) == []
+
+    def test_lookalike_module_quiet(self, tmp_path):
+        assert self._codes("import numpyish\n",
+                           "cpu/core.py", tmp_path) == []
