@@ -34,15 +34,31 @@ __all__ = [
 ]
 
 
-def run_check_suite(verbose: bool = True, self_test: bool = True) -> bool:
+def run_check_suite(verbose: bool = True, self_test: bool = True,
+                    durability: bool = False) -> bool:
     """Full correctness suite: litmus matrix, sanitizer-enabled smoke
     runs, and (optionally) the mutation self-test.  Returns overall
-    pass/fail; ``repro check`` turns that into the exit status."""
+    pass/fail; ``repro check`` turns that into the exit status.
+
+    With ``durability=True`` (``repro check --durability``) the
+    durable-state recovery audit (:func:`repro.run.audit.audit_state`)
+    also runs against the default cache directory; any durability-
+    contract violation fails the suite.
+    """
     from repro.check.litmus import run_litmus_suite
     from repro.check.mutations import run_mutation_self_test
     from repro.core.validation import check_sanitizer_neutrality
 
     ok = True
+
+    if durability:
+        from repro.run.audit import audit_state
+        from repro.run.cache import default_cache_dir
+        report = audit_state(default_cache_dir())
+        ok &= report.ok
+        if verbose:
+            print("== durability audit ==")
+            print(report.format_report())
 
     if verbose:
         print("== litmus suite ==")

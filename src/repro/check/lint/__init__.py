@@ -48,6 +48,11 @@ R011    ephemeral-parameter purity: ``SystemParams`` fields are either
 R012    backend-surface equivalence: ``tick`` and ``tick_fast``+
         ``settle`` (and ``run`` / ``_run_fast``) write the same
         attribute surface, modulo declared certification scratch
+R013    durable writes go through :mod:`repro.run.atomicio`: no bare
+        ``open(..., "w")``, ``os.replace``/``os.rename`` or
+        ``Path.write_text``/``write_bytes`` inside ``repro/run/`` or
+        ``repro/trace/`` -- raw writes dodge the atomic tmp + rename
+        dance, disk-fault injection and the recovery audit
 ======  ==================================================================
 
 Files that fail to parse are reported as ``E001`` diagnostics (path,

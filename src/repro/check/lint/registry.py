@@ -227,6 +227,25 @@ RULE_TABLE = (
         (``tick_quiet``, ``storebuf.drain_activity``), which the
         reference loop never reads and snapshots never capture.
         """)),
+    Rule(
+        "R013",
+        "durable write bypassing repro.run.atomicio",
+        "file",
+        _explain("""
+        Every durable artifact the runner persists (cache entries, the
+        sweep manifest, checkpoints, arenas, triage bundles, the gc
+        journal) must be published through
+        :mod:`repro.run.atomicio` -- the audited tmp + fsync + rename
+        primitive that also hosts deterministic disk-fault injection.
+        A bare ``open(..., "w")``, ``os.replace``/``os.rename`` or
+        ``Path.write_text``/``write_bytes`` inside ``repro/run/`` or
+        ``repro/trace/`` creates a durable file the crash-consistency
+        harness cannot tear, fault, or audit: a writer dying mid-call
+        leaves a torn artifact no recovery path knows about.
+        ``run/atomicio.py`` itself is the only exempt module.  Host-
+        side scratch that genuinely is not a durable artifact may carry
+        a ``# repro-lint: disable=R013`` pragma with a justification.
+        """)),
 )
 
 RULES: Dict[str, str] = {rule.code: rule.summary for rule in RULE_TABLE}

@@ -1,4 +1,4 @@
-"""Single-file AST rules (R001-R009) and the pragma grammar.
+"""Single-file AST rules (R001-R009, R013) and the pragma grammar.
 
 ``_FileLinter`` walks one module's AST and reports the per-file
 determinism rules; the whole-program contract passes live in
@@ -31,6 +31,21 @@ _HOT_SUFFIXES = ("cpu/core.py", "mem/cache.py")
 
 #: Path fragment marking the sweep-fabric transport modules (R008).
 _FABRIC_FRAGMENT = "run/fabric/"
+
+#: Path fragments marking the durable-artifact tree (R013): everything
+#: under the runner and trace packages persists through
+#: :mod:`repro.run.atomicio` or not at all.
+_DURABLE_FRAGMENTS = ("repro/run/", "repro/trace/")
+
+#: The one module allowed to touch raw write primitives (R013): the
+#: atomic-I/O implementation itself.
+_DURABLE_EXEMPT_SUFFIXES = ("run/atomicio.py",)
+
+#: ``os`` functions that publish or clobber a path in place (R013).
+_RAW_REPLACE = {"replace", "rename"}
+
+#: ``pathlib`` write helpers that bypass the tmp + rename dance (R013).
+_RAW_PATH_WRITE = {"write_text", "write_bytes"}
 
 #: Socket methods that block indefinitely unless a timeout is armed
 #: (R008).  ``settimeout`` in the enclosing function is the exemption.
@@ -129,6 +144,10 @@ class _FileLinter(ast.NodeVisitor):
         self._fast_file = any(normalized.endswith(suffix)
                               for suffix in _FAST_SUFFIXES)
         self._fabric_file = _FABRIC_FRAGMENT in normalized
+        self._durable_file = any(fragment in normalized
+                                 for fragment in _DURABLE_FRAGMENTS) \
+            and not any(normalized.endswith(suffix)
+                        for suffix in _DURABLE_EXEMPT_SUFFIXES)
         self._numpy_ok = any(normalized.endswith(suffix)
                              for suffix in _NUMPY_SUFFIXES)
         self._func_stack: List[str] = []
@@ -270,7 +289,53 @@ class _FileLinter(ast.NodeVisitor):
                 node.args and self._is_setish(node.args[0]):
             self._report(node, "R003",
                          "str.join over a bare set -- wrap in sorted(...)")
+        if self._durable_file:
+            self._check_raw_durable_write(node)
         self.generic_visit(node)
+
+    # -- R013: durable writes must go through atomicio -------------------------
+
+    def _check_raw_durable_write(self, node: ast.Call) -> None:
+        """R013: raw write primitive in the durable-artifact tree."""
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = self._open_mode(node)
+            if mode is not None and any(c in mode for c in "wax+"):
+                self._report(
+                    node, "R013",
+                    f"open(..., {mode!r}) in the durable tree -- publish "
+                    f"through repro.run.atomicio so the write is atomic, "
+                    f"fault-covered and auditable")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in _RAW_REPLACE and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id == "os":
+            self._report(
+                node, "R013",
+                f"os.{func.attr}(...) in the durable tree -- publish "
+                f"through repro.run.atomicio (or quarantine via "
+                f"atomicio.quarantine)")
+        elif func.attr in _RAW_PATH_WRITE:
+            self._report(
+                node, "R013",
+                f".{func.attr}(...) in the durable tree -- publish "
+                f"through repro.run.atomicio so the write is atomic, "
+                f"fault-covered and auditable")
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> Optional[str]:
+        """The literal mode string of an ``open`` call, if present."""
+        mode: Optional[ast.AST] = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
 
     # -- R003: iteration -------------------------------------------------------
 

@@ -77,6 +77,14 @@ def _fabric_socket_no_timeout(source: str) -> str:
         "    return sock.recv(4)\n")
 
 
+def _raw_durable_write(source: str) -> str:
+    """Append a helper that publishes a cache file with bare open()."""
+    return source + (
+        "\n\ndef _r013_probe(path, text):\n"
+        "    with open(path, \"w\") as fh:\n"
+        "        fh.write(text)\n")
+
+
 def _fast_only_write(source: str) -> str:
     """Insert a fast-path-only attribute write into tick_fast()."""
     pattern = re.compile(r"^(    def tick_fast\(self\b[^\n]*\n)",
@@ -123,6 +131,12 @@ STATIC_MUTATIONS: Dict[str, Tuple[str, str, Callable[[str], str], str]] = {
         os.path.join("run", "fabric", "protocol.py"),
         _fabric_socket_no_timeout,
         "R008"),
+    "raw-durable-write": (
+        "publish a cache file with bare open(..., 'w') in run/cache.py "
+        "-- a durable write dodging atomicio's tmp + rename dance",
+        os.path.join("run", "cache.py"),
+        _raw_durable_write,
+        "R013"),
 }
 
 

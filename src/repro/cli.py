@@ -261,6 +261,7 @@ def cmd_gc(args) -> int:
         print("gc: dry run, nothing deleted")
         return 0
     removed, freed = plan.apply()
+    run_gc.write_gc_state(cache_dir, plan, removed, freed)
     print(f"gc: removed {removed} item(s), freed {freed} bytes")
     return 0
 
@@ -340,6 +341,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="litmus matrix, sanitizer smoke runs and mutation self-test")
     check.add_argument("--skip-mutations", action="store_true",
                        help="skip the mutation self-test (faster)")
+    check.add_argument("--durability", action="store_true",
+                       help="also audit the durable state under the "
+                            "result cache (see `repro audit-state`)")
     lint = sub.add_parser(
         "lint", parents=[common],
         help="AST determinism linter over the simulator sources")
@@ -435,7 +439,32 @@ def _build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--max-age-days", type=float, default=None,
                     metavar="D",
                     help="override every category's age cap to D days")
+    audit = sub.add_parser(
+        "audit-state", parents=[common],
+        help="walk every durable artifact (entries, manifest, "
+             "checkpoints, arenas, triage, gc journal), verify "
+             "checksums and assert the durability contract")
+    audit.add_argument("audit_dir", nargs="?", default=None,
+                       metavar="CACHE_DIR",
+                       help="directory to audit (default: the active "
+                            "result cache)")
+    audit.add_argument("--sweep", action="store_true",
+                       help="remove stale orphaned *.tmp files while "
+                            "auditing (young ones are never touched)")
+    audit.add_argument("--verbose", action="store_true",
+                       help="also list informational notes")
     return parser
+
+
+def cmd_audit_state(args) -> int:
+    """Audit the durable tree; exit 0 iff the contract holds."""
+    from repro.run.audit import audit_state
+    cache = run.shared_cache()
+    target = args.audit_dir if args.audit_dir is not None else (
+        cache.path if cache is not None else run.default_cache_dir())
+    report = audit_state(target, sweep=args.sweep)
+    print(report.format_report(verbose=args.verbose))
+    return 0 if report.ok else 1
 
 
 def cmd_replay(args) -> int:
@@ -569,7 +598,9 @@ def main(argv=None) -> int:
     if args.command == "check":
         from repro.check import run_check_suite
         ok = run_check_suite(verbose=True,
-                             self_test=not args.skip_mutations)
+                             self_test=not args.skip_mutations,
+                             durability=getattr(args, "durability",
+                                                False))
         return 0 if ok else 1
     if args.command == "profile":
         return cmd_profile(args, quick)
@@ -581,6 +612,8 @@ def main(argv=None) -> int:
         return cmd_sweep(args, quick)
     if args.command == "gc":
         return cmd_gc(args)
+    if args.command == "audit-state":
+        return cmd_audit_state(args)
     if args.command == "characterize":
         cmd_characterize(quick)
     elif args.command == "figure":

@@ -36,6 +36,12 @@ import os
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.run.atomicio import (
+    CriticalWriteError,
+    DurabilityWarning,
+    FramedReadError,
+)
+from repro.run.audit import AuditFinding, AuditReport, audit_state
 from repro.run.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
 from repro.run.dispatch import (
     DISPATCH_ENV,
@@ -60,7 +66,8 @@ from repro.run.executor import (
     default_jobs,
     run_many,
 )
-from repro.run.faults import FaultPlan, InjectedCrash, plan_from_env
+from repro.run.faults import (FaultPlan, InjectedCrash, InjectedDiskFault,
+                              plan_from_env)
 from repro.run.jobs import MODEL_VERSION, JobSpec, WorkloadSpec
 from repro.run.manifest import MANIFEST_NAME, JobRecord, SweepManifest
 
@@ -70,7 +77,9 @@ __all__ = [
     "run_many", "RunReport", "JobOutcome", "default_jobs",
     "RetryPolicy", "DEFAULT_POLICY",
     "SweepManifest", "JobRecord", "MANIFEST_NAME",
-    "FaultPlan", "InjectedCrash", "plan_from_env",
+    "FaultPlan", "InjectedCrash", "InjectedDiskFault", "plan_from_env",
+    "CriticalWriteError", "DurabilityWarning", "FramedReadError",
+    "AuditFinding", "AuditReport", "audit_state",
     "configure", "runner_defaults", "runner_state",
     "shared_cache", "shared_manifest", "retry_policy",
     "ARENAS_ENV", "default_arena_mode",

@@ -12,11 +12,12 @@ Each entry stores the job description next to the result plus a sha256
 an entry that is truncated, bit-flipped, or missing its checksum is
 *quarantined* -- moved to a ``quarantine/`` subdirectory rather than
 silently overwritten -- counted in :meth:`ResultCache.stats`, and
-reported as a miss so the job simply re-runs.  Writes are atomic
-(``mkstemp`` + ``os.replace``) and **best-effort**: a read-only or full
-cache directory degrades to a warning instead of failing the sweep that
-computed the result.  Orphaned ``*.tmp`` files left by a writer killed
-mid-write are swept on startup (when stale) and by :meth:`purge`.
+reported as a miss so the job simply re-runs.  Writes go through
+:mod:`repro.run.atomicio` (atomic, fsynced, fault-injected) and are
+**best-effort**: a read-only or full cache directory degrades to a
+warning instead of failing the sweep that computed the result.
+Orphaned ``*.tmp`` files left by a writer killed mid-write are swept on
+startup (when stale) and by :meth:`purge`.
 """
 
 from __future__ import annotations
@@ -24,12 +25,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.core.experiment import SimulationResult
+from repro.run import atomicio
 from repro.run.faults import plan_from_env
 from repro.run.jobs import JobSpec
 
@@ -86,18 +87,15 @@ class ResultCache:
         return self.path / QUARANTINE_DIR
 
     def _quarantine(self, entry: Path, reason: str) -> None:
-        """Move a corrupt entry aside (never silently overwrite it)."""
-        try:
-            self.quarantine_path.mkdir(parents=True, exist_ok=True)
-            os.replace(entry, self.quarantine_path / entry.name)
-        except OSError:
-            # Unwritable cache: leave the entry in place; it will keep
-            # missing (checksum still fails) which is safe, just noisy.
-            pass
+        """Move a corrupt entry aside (never silently overwrite it).
+
+        An unwritable cache leaves the entry in place; it keeps missing
+        (checksum still fails) which is safe, just noisy.
+        """
+        atomicio.quarantine(entry, reason, label="cache entry",
+                            quarantine_dir=self.quarantine_path,
+                            stacklevel=4)
         self.quarantined += 1
-        warnings.warn(
-            f"quarantined corrupt cache entry {entry.name} ({reason})",
-            RuntimeWarning, stacklevel=3)
 
     @staticmethod
     def _decode_entry(text: str) -> SimulationResult:
@@ -169,26 +167,15 @@ class ResultCache:
             # the stored bytes are truncated or bit-flipped so the next
             # read must detect and quarantine them.
             text = plan.corrupt_text(text, fingerprint)
-        try:
-            self._sweep_orphans()
-            self.path.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    fh.write(text + "\n")
-                os.replace(tmp, self._entry_path(fingerprint))
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError as exc:
+        self._sweep_orphans()
+        if not atomicio.atomic_write_text(
+                self._entry_path(fingerprint), text + "\n",
+                category="cache"):
             self.write_errors += 1
             warnings.warn(
-                f"result cache write failed for {fingerprint[:12]} "
-                f"({type(exc).__name__}: {exc}); continuing without "
-                f"caching", RuntimeWarning, stacklevel=2)
+                f"result cache write failed for {fingerprint[:12]}; "
+                f"continuing without caching", RuntimeWarning,
+                stacklevel=2)
             return False
         return True
 
@@ -204,19 +191,7 @@ class ResultCache:
         if self._swept_orphans:
             return 0
         self._swept_orphans = True
-        if not self.path.is_dir():
-            return 0
-        removed = 0
-        # Host-side housekeeping clock; never feeds simulated state.
-        cutoff = time_now() - _ORPHAN_TTL
-        for stray in sorted(self.path.glob("*.tmp")):
-            try:
-                if stray.stat().st_mtime <= cutoff:
-                    stray.unlink()
-                    removed += 1
-            except OSError:
-                pass
-        return removed
+        return atomicio.sweep_orphans(self.path, ttl=_ORPHAN_TTL)
 
     @staticmethod
     def _is_entry(path: Path) -> bool:

@@ -27,11 +27,13 @@ uninterrupted one.  Three properties make that hold:
   re-run (and vice versa).
 
 Checkpoints live under ``<cache>/checkpoints/<fingerprint>/`` as
-``ck-<retired>.ckpt`` files: a magic string, a sha256 digest, then the
-pickled payload.  Writes are atomic (``mkstemp`` + ``os.replace``) and
-best-effort; a corrupt checkpoint is quarantined and the loader falls
-back to the previous one, then to a cold start.  Checkpoints are
-cleared once the job completes (the result cache takes over).
+``ck-<retired>.ckpt`` files in the standard framed format
+(:func:`repro.run.atomicio.write_framed`: magic, sha256 digest, pickled
+payload).  Writes go through :mod:`repro.run.atomicio` (atomic,
+fault-injected) and are best-effort; a corrupt checkpoint is
+quarantined and the loader falls back to the previous one, then to a
+cold start.  Checkpoints are cleared once the job completes (the
+result cache takes over).
 
 Checkpointing declines configurations it cannot reproduce exactly:
 runs with the invariant checker attached (``params.check`` wraps
@@ -45,7 +47,6 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 import warnings
 from collections import deque
 from itertools import islice
@@ -54,7 +55,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.experiment import SimulationResult, assemble_result
 from repro.params import SystemParams
-from repro.run import triage
+from repro.run import atomicio, triage
 from repro.run.cache import time_now
 from repro.run.faults import FaultPlan
 from repro.run.jobs import MODEL_VERSION, JobSpec
@@ -136,6 +137,7 @@ class CheckpointStore:
         self.writes = 0
         self.write_errors = 0
         self.quarantined = 0
+        self._swept_orphans = False
 
     @classmethod
     def for_job(cls, cache_dir: Union[str, Path],
@@ -152,31 +154,22 @@ class CheckpointStore:
         return sorted(self.directory.glob("ck-*.ckpt"))
 
     def save(self, payload: Dict[str, Any]) -> Optional[Path]:
-        """Atomically persist one checkpoint payload (best-effort)."""
+        """Atomically persist one checkpoint payload (best-effort).
+
+        On the first save of this store, stale orphaned ``*.tmp`` files
+        left in the job's directory by killed writers are swept.
+        """
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        digest = hashlib.sha256(blob).hexdigest().encode("ascii")
         target = self._path(int(payload["retired"]))
-        try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(MAGIC)
-                    fh.write(digest)
-                    fh.write(blob)
-                os.replace(tmp, target)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError as exc:
+        if not self._swept_orphans:
+            self._swept_orphans = True
+            atomicio.sweep_orphans(self.directory)
+        if not atomicio.write_framed(target, MAGIC, blob,
+                                     category="checkpoint"):
             self.write_errors += 1
             warnings.warn(
-                f"checkpoint write failed at {payload['retired']} retired "
-                f"({type(exc).__name__}: {exc}); continuing without it",
-                RuntimeWarning, stacklevel=2)
+                f"checkpoint write failed at {payload['retired']} retired"
+                f"; continuing without it", RuntimeWarning, stacklevel=2)
             return None
         self.writes += 1
         return target
@@ -188,17 +181,10 @@ class CheckpointStore:
         Raises :class:`CorruptCheckpoint` on any defect and ``OSError``
         when the file cannot be read at all.
         """
-        with open(path, "rb") as fh:
-            data = fh.read()
-        if data[:len(MAGIC)] != MAGIC:
-            raise CorruptCheckpoint(f"bad magic {data[:len(MAGIC)]!r}")
-        digest = data[len(MAGIC):len(MAGIC) + 64]
-        blob = data[len(MAGIC) + 64:]
-        computed = hashlib.sha256(blob).hexdigest().encode("ascii")
-        if computed != digest:
-            raise CorruptCheckpoint(
-                f"checksum mismatch (stored {digest[:12].decode('ascii', 'replace')}..., "
-                f"computed {computed[:12].decode('ascii')}...)")
+        try:
+            blob = atomicio.read_framed(path, MAGIC)
+        except atomicio.FramedReadError as exc:
+            raise CorruptCheckpoint(str(exc)) from exc
         try:
             payload = pickle.loads(blob)
         except Exception as exc:
@@ -230,16 +216,12 @@ class CheckpointStore:
         return None
 
     def _quarantine(self, path: Path, reason: str) -> None:
-        try:
-            target_dir = self.directory / QUARANTINE_DIR
-            target_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, target_dir / path.name)
-        except OSError:
+        if atomicio.quarantine(
+                path, reason, label="checkpoint",
+                quarantine_dir=self.directory / QUARANTINE_DIR,
+                stacklevel=4) is None:
             return
         self.quarantined += 1
-        warnings.warn(
-            f"quarantined corrupt checkpoint {path.name} ({reason})",
-            RuntimeWarning, stacklevel=3)
 
     def clear(self) -> int:
         """Remove every checkpoint and temp file (job completed)."""

@@ -2,9 +2,11 @@
 
 The resilience layer (retries, timeouts, cache quarantine) is only
 trustworthy if every recovery path can be demonstrated on demand.  This
-module injects four kinds of *host-side* faults -- worker crashes at
-job start, crashes mid-simulation (right after a checkpoint lands),
-hangs past the job timeout, and corrupted cache writes -- without ever
+module injects *host-side* faults -- worker crashes at job start,
+crashes mid-simulation (right after a checkpoint lands), hangs past the
+job timeout, corrupted cache writes, and storage failures on every
+durable artifact write (torn writes, short writes, ENOSPC, EIO, crash
+between temp file and rename, dropped fsync) -- without ever
 touching simulated state: a fault delays or re-runs a job, but the
 simulation itself is deterministic, so the surviving results are
 byte-identical to a fault-free run.
@@ -32,6 +34,23 @@ Recognised keys:
                 delivered twice
 ``netslow:P``   per-message probability a fabric send is delayed by
                 ``netslow_s`` seconds
+``torn:P``      per-durable-write probability the stored bytes are
+                truncated at a hash-derived offset while the rename
+                still completes (a torn write the next read must
+                detect, quarantine, and recompute around)
+``shortwrite:P`` per-durable-write probability only a prefix reaches
+                the temp file before the writer fails with EIO
+``enospc:P``    per-durable-write probability the write fails up front
+                with ENOSPC (disk full)
+``eio:P``       per-durable-write probability the final rename fails
+                with EIO
+``renamecrash:P`` per-durable-write probability the writer "dies"
+                between writing the temp file and renaming it,
+                leaving an orphaned ``*.tmp`` behind (raises
+                :class:`InjectedCrash`)
+``fsyncdrop:P`` per-durable-write probability the fsync is silently
+                skipped (the content is intact; models a lying disk
+                cache)
 ``seed:N``      integer folded into every fault decision (default 0)
 ``hang_s:S``    injected hang duration in seconds (default 30)
 ``netslow_s:S`` injected transport delay in seconds (default 0.2)
@@ -43,6 +62,12 @@ and a retried attempt of the same job rolls independently (which is what
 lets retries eventually succeed).  Worker processes inherit the
 environment variable, so pool workers and the serial path inject
 identically.
+
+Disk faults roll per ``(artifact category, op, sequence number)``
+instead of per job: :mod:`repro.run.atomicio` keys every durable write
+through :meth:`FaultPlan.disk_fault`, so the schedule of injected disk
+faults is a pure function of the plan string and the order of writes --
+replay the same sweep serially and the same writes fail the same way.
 """
 
 from __future__ import annotations
@@ -50,7 +75,7 @@ from __future__ import annotations
 import hashlib
 import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 #: Environment variable holding the fault plan.
 FAULTS_ENV = "REPRO_FAULTS"
@@ -63,8 +88,14 @@ DEFAULT_HANG_SECONDS = 30.0
 #: stay below lease timeouts, or every netslow roll doubles as netdrop.
 DEFAULT_NETSLOW_SECONDS = 0.2
 
+#: Disk-fault kinds, in the fixed order :meth:`FaultPlan.disk_fault`
+#: rolls them (first firing kind wins for a given write).
+DISK_FAULT_KINDS: Tuple[str, ...] = (
+    "torn", "shortwrite", "enospc", "eio", "renamecrash", "fsyncdrop")
+
 _PROB_KEYS = ("crash", "hang", "corrupt", "midcrash",
-              "workerdie", "netdrop", "netdup", "netslow")
+              "workerdie", "netdrop", "netdup",
+              "netslow") + DISK_FAULT_KINDS
 
 
 class InjectedCrash(Exception):
@@ -73,6 +104,15 @@ class InjectedCrash(Exception):
     Deliberately a direct :class:`Exception` subclass -- not an
     ``OSError`` or ``RuntimeError`` -- so it exercises the executor's
     *arbitrary* per-job exception isolation, not a lucky catch tuple.
+    """
+
+
+class InjectedDiskFault(OSError):
+    """An injected storage failure (ENOSPC, EIO, short write).
+
+    Deliberately an :class:`OSError` subclass -- carrying a real
+    ``errno`` -- so it flows through exactly the ``except OSError``
+    degradation paths a genuine full or dying disk would take.
     """
 
 
@@ -88,6 +128,12 @@ class FaultPlan:
     netdrop: float = 0.0
     netdup: float = 0.0
     netslow: float = 0.0
+    torn: float = 0.0
+    shortwrite: float = 0.0
+    enospc: float = 0.0
+    eio: float = 0.0
+    renamecrash: float = 0.0
+    fsyncdrop: float = 0.0
     seed: int = 0
     hang_seconds: float = DEFAULT_HANG_SECONDS
     netslow_seconds: float = DEFAULT_NETSLOW_SECONDS
@@ -201,6 +247,40 @@ class FaultPlan:
                        * len(text)) % len(text)
         flipped = chr(ord(text[position]) ^ 0x01)
         return text[:position] + flipped + text[position + 1:]
+
+    # ------------------------------------------------------------ disk ops
+
+    @property
+    def disk_active(self) -> bool:
+        """Whether any disk-fault kind has a non-zero probability."""
+        return any(getattr(self, kind) for kind in DISK_FAULT_KINDS)
+
+    def disk_fault(self, category: str, op: str,
+                   seq: int) -> Optional[str]:
+        """Which disk fault (if any) fires for one durable write.
+
+        ``category`` is the artifact category (``cache`` /
+        ``manifest`` / ``checkpoint`` / ``arena`` / ``triage`` /
+        ``gcstate``), ``op`` the operation name, and ``seq`` the
+        category-local operation sequence number.  Kinds roll in
+        :data:`DISK_FAULT_KINDS` order and the first hit wins, so a
+        given (plan, write) pair always resolves to the same single
+        fault -- the whole schedule replays exactly.
+        """
+        fingerprint = f"{category}:{op}"
+        for kind in DISK_FAULT_KINDS:
+            if self.roll(kind, fingerprint, seq):
+                return kind
+        return None
+
+    def torn_offset(self, size: int, category: str, seq: int) -> int:
+        """Hash-derived truncation point in ``[0, size)`` for a torn or
+        short write -- strictly less than ``size`` so the stored bytes
+        really are damaged."""
+        if size <= 1:
+            return 0
+        unit = self._unit("torn-offset", category, seq)
+        return min(size - 1, int(unit * size))
 
 
 def plan_from_env(env: Optional[str] = None) -> Optional[FaultPlan]:

@@ -18,6 +18,20 @@ so a GC run concurrent with (or between resumes of) a sweep cannot eat
 the checkpoint a job is about to resume from or the bundle of a crash
 that has not been triaged.
 
+A fifth category, **orphans**, covers ``*.tmp`` files abandoned by
+writers that died between ``mkstemp`` and the final rename (including
+injected ``renamecrash`` faults): the cache root, every per-job
+checkpoint directory, the trace and triage trees.  Race safety: any
+item -- orphan or artifact -- whose newest mtime is younger than
+:data:`GC_GRACE_S` is pinned outright, so a gc run concurrent with a
+live sweep can never eat an in-flight temp file or a just-renamed
+artifact, even under ``--max-age-days 0``.
+
+After :meth:`GcPlan.apply`, :func:`write_gc_state` journals the run
+(``gc-state.json``, checksummed via
+:func:`repro.run.atomicio.write_checked_json`) so ``repro audit-state``
+can cross-check the last collection.
+
 Determinism note: the only clock here is host housekeeping time
 (:func:`repro.run.cache.time_now`); nothing simulated ever reads it.
 """
@@ -26,8 +40,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.run import atomicio
 from repro.run.cache import time_now
 
 #: Seconds per day, for readable rule declarations.
@@ -35,6 +50,18 @@ _DAY = 86400.0
 
 #: Manifest statuses that pin a job's artifacts against eviction.
 PINNED_STATUSES = ("pending", "running", "retrying")
+
+#: Grace window (seconds): nothing younger than this is ever evicted,
+#: whatever the rules say -- it may be an in-flight write racing the
+#: collection.  Durable writes land in milliseconds, so one minute is
+#: generous without starving tight count/bytes caps.
+GC_GRACE_S = 60.0
+
+#: File name of the gc journal inside the cache directory.
+GC_STATE_NAME = "gc-state.json"
+
+#: ``gc-state.json`` body schema version.
+GC_STATE_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -60,6 +87,9 @@ DEFAULT_RULES: Dict[str, RetentionRule] = {
     "arenas": RetentionRule(max_age_s=7 * _DAY,
                             max_bytes=2 * 1024 * 1024 * 1024),
     "quarantine": RetentionRule(max_age_s=7 * _DAY, max_count=200),
+    # Abandoned *.tmp files are pure debris once stale; the orphan TTL
+    # matches the writers' own startup sweeps.
+    "orphans": RetentionRule(max_age_s=atomicio.ORPHAN_TTL),
 }
 
 
@@ -231,7 +261,26 @@ def collect_items(cache_dir: Union[str, Path],
             mtime, size = _tree_stat(entry)
             items.append(GcItem("quarantine", entry, mtime, size))
 
+    for stray in _orphan_tmp_files(cache_dir):
+        mtime, size = _tree_stat(stray)
+        items.append(GcItem("orphans", stray, mtime, size))
+
     return items
+
+
+def _orphan_tmp_files(cache_dir: Path) -> List[Path]:
+    """Every abandoned ``*.tmp`` across the durable tree, sorted:
+    the cache root (entries + manifest), per-job checkpoint
+    directories, the trace dir, and triage bundles."""
+    from repro.run import checkpoint as ckpt
+    from repro.run import triage
+    directories = [cache_dir, cache_dir / "traces"]
+    directories.extend(ckpt.job_checkpoint_dirs(cache_dir))
+    directories.extend(triage.bundle_dirs(cache_dir))
+    strays: List[Path] = []
+    for directory in directories:
+        strays.extend(atomicio.orphan_tmp_files(directory))
+    return sorted(strays)
 
 
 def plan_gc(cache_dir: Union[str, Path],
@@ -246,6 +295,15 @@ def plan_gc(cache_dir: Union[str, Path],
         now = time_now()
     rules = rules if rules is not None else DEFAULT_RULES
     plan = GcPlan(now=now, items=collect_items(cache_dir, manifest))
+    for item in plan.items:
+        # Race safety: a fresh mtime means a writer may be mid-flight
+        # (an in-progress temp file, a just-renamed artifact).  Pin it
+        # unconditionally; the next collection gets it once it is
+        # genuinely stale.
+        if not item.pinned and item.age_s(now) < GC_GRACE_S:
+            item.pinned = True
+            item.pin_reason = (f"younger than grace window "
+                               f"({GC_GRACE_S:.0f}s)")
     by_cat: Dict[str, List[GcItem]] = {}
     for item in plan.items:
         by_cat.setdefault(item.category, []).append(item)
@@ -299,3 +357,47 @@ def _apply_rule(items: Sequence[GcItem], rule: RetentionRule,
                 mark(item, f"size cap {_human_bytes(rule.max_bytes)}")
             if item.evict:
                 total -= item.bytes
+
+
+# ------------------------------------------------------------------ journal
+
+def gc_state_path(cache_dir: Union[str, Path]) -> Path:
+    return Path(cache_dir) / GC_STATE_NAME
+
+
+def write_gc_state(cache_dir: Union[str, Path], plan: GcPlan,
+                   removed: int, freed: int) -> bool:
+    """Journal one applied collection (best-effort, checksummed).
+
+    The body records what the plan decided and what actually went, per
+    category, so ``repro audit-state`` can verify the journal parses
+    and matches its checksum after a faulted run.
+    """
+    by_cat: Dict[str, int] = {}
+    for item in plan.evictions:
+        by_cat[item.category] = by_cat.get(item.category, 0) + 1
+    body: Dict[str, Any] = {
+        "format": GC_STATE_FORMAT,
+        "applied_at": plan.now,
+        "planned": len(plan.evictions),
+        "removed": removed,
+        "freed_bytes": freed,
+        "pinned": len(plan.pinned),
+        "evictions_by_category": {key: by_cat[key]
+                                  for key in sorted(by_cat)},
+    }
+    return atomicio.write_checked_json(gc_state_path(cache_dir), body,
+                                       category="gcstate")
+
+
+def read_gc_state(cache_dir: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """The last gc journal body, or ``None`` when absent.
+
+    Raises :class:`~repro.run.atomicio.FramedReadError` on a corrupt
+    journal (the audit reports it; the journal is best-effort state,
+    so the caller may simply delete it).
+    """
+    path = gc_state_path(cache_dir)
+    if not path.exists():
+        return None
+    return atomicio.read_checked_json(path)

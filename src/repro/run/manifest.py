@@ -21,11 +21,11 @@ checked :class:`~repro.run.cache.ResultCache`.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
+
+from repro.run import atomicio
 
 #: File name of the manifest inside the cache directory.
 MANIFEST_NAME = "sweep-manifest.json"
@@ -97,6 +97,7 @@ class SweepManifest:
         #: last_heartbeat, jobs_done, jobs_failed, lease, lease_since).
         self.workers: Dict[str, Dict[str, object]] = {}
         self.load_error: Optional[str] = None
+        self._swept_orphans = False
         self._load()
 
     # ------------------------------------------------------------------ io
@@ -122,8 +123,16 @@ class SweepManifest:
             self.records = {}
 
     def flush(self) -> bool:
-        """Atomically persist the manifest; best-effort (returns
-        ``False`` and keeps going when the directory is unwritable)."""
+        """Atomically persist the manifest (a **critical** write).
+
+        The manifest is the attempt ledger the durability audit checks
+        cache outcomes against, so unlike every other artifact a flush
+        that cannot land raises
+        :class:`~repro.run.atomicio.CriticalWriteError` loudly instead
+        of degrading -- losing attempt accounting silently would
+        invalidate the sweep's bookkeeping.  On the first flush, stale
+        orphaned ``*.tmp`` files beside the manifest are swept.
+        """
         payload = {
             "format": _MANIFEST_FORMAT,
             "jobs": [self.records[key].to_dict()
@@ -132,24 +141,12 @@ class SweepManifest:
         if self.workers:
             payload["workers"] = {name: self.workers[name]
                                   for name in sorted(self.workers)}
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.path.parent,
-                                       suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(payload, handle, indent=1, sort_keys=True)
-                    handle.write("\n")
-                os.replace(tmp, self.path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            return False
-        return True
+        if not self._swept_orphans:
+            self._swept_orphans = True
+            atomicio.sweep_orphans(self.path.parent)
+        return atomicio.atomic_write_json(self.path, payload,
+                                          category="manifest",
+                                          critical=True)
 
     # ------------------------------------------------------------ lifecycle
 

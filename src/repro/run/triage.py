@@ -27,18 +27,19 @@ re-runs it deterministically; because the simulator is deterministic,
 the failure either reproduces exactly (a simulated wedge or modelling
 bug) or the run completes (the original failure was host-side).
 
-Bundle writes are best-effort: an unwritable cache degrades to a
+Bundle writes go through :mod:`repro.run.atomicio` (atomic,
+fault-injected) and are best-effort: an unwritable cache degrades to a
 warning, never masks the original failure.
 """
 
 from __future__ import annotations
 
 import json
-import shutil
 import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.run import atomicio
 from repro.run.jobs import MODEL_VERSION, JobSpec
 from repro.system.machine import Machine, WedgeError
 from repro.trace.instr import OP_NAMES
@@ -121,16 +122,24 @@ def write_bundle(cache_dir: Union[str, Path], *, spec: JobSpec,
     }
     try:
         directory.mkdir(parents=True, exist_ok=True)
+        atomicio.sweep_orphans(directory)
+        ok = True
         if checkpoints:
             newest = checkpoints[-1]
-            shutil.copy2(newest, directory / newest.name)
-            payload["checkpoint"] = newest.name
+            if atomicio.atomic_write_bytes(directory / newest.name,
+                                           newest.read_bytes(),
+                                           category="triage"):
+                payload["checkpoint"] = newest.name
+            else:
+                ok = False
         if machine is not None:
-            tails = _stream_tails(machine)
-            with open(directory / "stream-tail.json", "w") as fh:
-                json.dump(tails, fh, indent=1)
-        with open(directory / "job.json", "w") as fh:
-            json.dump(payload, fh, indent=1, sort_keys=True)
+            ok &= atomicio.atomic_write_json(
+                directory / "stream-tail.json", _stream_tails(machine),
+                category="triage", sort_keys=False)
+        ok &= atomicio.atomic_write_json(directory / "job.json", payload,
+                                         category="triage")
+        if not ok:
+            raise OSError("bundle artifact write failed")
     except OSError as exc:
         warnings.warn(
             f"triage bundle write failed for {fingerprint[:12]} "

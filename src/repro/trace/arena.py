@@ -53,7 +53,6 @@ import hashlib
 import json
 import mmap
 import os
-import tempfile
 import warnings
 from array import array
 from pathlib import Path
@@ -197,26 +196,15 @@ def write_arena(path: Union[str, Path],
     header["counts"] = counts
     header["checksum"] = hashlib.sha256(body).hexdigest()
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(MAGIC)
-                fh.write(len(header_bytes).to_bytes(4, "little"))
-                fh.write(header_bytes)
-                fh.write(body)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-    except OSError as exc:
+    blob = b"".join((MAGIC, len(header_bytes).to_bytes(4, "little"),
+                     header_bytes, body))
+    # Deferred import: repro.run.checkpoint imports this module, so a
+    # top-level import of the repro.run package would be circular.
+    from repro.run import atomicio
+    atomicio.sweep_orphans(path.parent)
+    if not atomicio.atomic_write_bytes(path, blob, category="arena"):
         warnings.warn(
-            f"arena write failed for {path.name} "
-            f"({type(exc).__name__}: {exc}); continuing without it",
+            f"arena write failed for {path.name}; continuing without it",
             RuntimeWarning, stacklevel=2)
         return False
     return True
@@ -465,14 +453,10 @@ def load_cached(path: Union[str, Path],
 
 
 def _quarantine(path: Path, reason: str) -> None:
-    try:
-        target_dir = path.parent / QUARANTINE_DIR
-        target_dir.mkdir(parents=True, exist_ok=True)
-        os.replace(path, target_dir / path.name)
-    except OSError:
-        return
-    warnings.warn(f"quarantined corrupt arena {path.name} ({reason})",
-                  RuntimeWarning, stacklevel=3)
+    from repro.run import atomicio
+    atomicio.quarantine(path, reason, label="arena",
+                        quarantine_dir=path.parent / QUARANTINE_DIR,
+                        stacklevel=4)
 
 
 def forget(path: Union[str, Path]) -> None:

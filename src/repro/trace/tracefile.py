@@ -19,6 +19,7 @@ deps are always empty in the generated workloads).
 from __future__ import annotations
 
 import struct
+from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator, Optional
 
 from repro.trace.instr import OP_BRANCH, Instruction
@@ -84,9 +85,21 @@ def read_trace(fh: BinaryIO) -> Iterator[Instruction]:
 
 def capture(generator: Iterable[Instruction], path: str,
             n_instructions: int) -> int:
-    """Capture the first ``n_instructions`` of a generator to ``path``."""
-    with open(path, "wb") as fh:
-        return write_trace(iter(generator), fh, limit=n_instructions)
+    """Capture the first ``n_instructions`` of a generator to ``path``.
+
+    The file is published atomically (buffered in memory, then one
+    :func:`repro.run.atomicio.atomic_write_bytes`), so a capture killed
+    mid-write never leaves a truncated trace behind.
+    """
+    import io
+
+    from repro.run import atomicio
+    buffer = io.BytesIO()
+    count = write_trace(iter(generator), buffer, limit=n_instructions)
+    if not atomicio.atomic_write_bytes(Path(path), buffer.getvalue(),
+                                       category="trace"):
+        raise OSError(f"could not write trace file {path}")
+    return count
 
 
 def replay(path: str, loop: bool = False) -> Iterator[Instruction]:

@@ -99,10 +99,10 @@ class TestCheckCommands:
         # assert the CLI turns the suite verdict into the exit status.
         import repro.check
         monkeypatch.setattr(repro.check, "run_check_suite",
-                            lambda verbose, self_test: True)
+                            lambda verbose, self_test, durability: True)
         assert cli.main(["check"]) == 0
         monkeypatch.setattr(repro.check, "run_check_suite",
-                            lambda verbose, self_test: False)
+                            lambda verbose, self_test, durability: False)
         assert cli.main(["check", "--skip-mutations"]) == 1
 
     def test_validate_exit_codes(self, monkeypatch):
